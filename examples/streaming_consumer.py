@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Receiver-side pipelining with ``MPI_Parrived``.
+
+The sender's threads produce partitions with staggered compute; the
+receiver *consumes* each partition as soon as ``Parrived`` reports it,
+instead of blocking in ``Wait`` for the whole buffer — overlapping its
+own post-processing with the remaining transfers (the receive-side
+mirror of the early-bird effect).
+
+The script compares end-to-end completion (last partition consumed)
+between the streaming consumer and a wait-then-process baseline.
+
+Run:  python examples/streaming_consumer.py
+"""
+
+import numpy as np
+
+from repro.mpi import Cvars, MPIWorld
+from repro.threads import FixedDelayModel
+
+N_PARTS = 8
+PART_BYTES = 1 << 20  # 1 MiB partitions: rendezvous territory
+TOTAL = N_PARTS * PART_BYTES
+GAMMA_US_PER_MB = 200.0  # strong producer-side imbalance
+PROCESS_US = 25.0  # receiver-side post-processing per partition
+
+
+def sender(world):
+    comm = world.comm_world(0)
+    delay = FixedDelayModel.from_us_per_mb(GAMMA_US_PER_MB)
+    req = yield from comm.psend_init(
+        dest=1, tag=4, partitions=N_PARTS, nbytes=TOTAL
+    )
+    yield from req.start()
+    for p in range(N_PARTS):
+        dt = delay.compute_time(0, p, PART_BYTES, N_PARTS, 1)
+        if dt:
+            yield world.env.timeout(dt)
+        yield from req.pready(p)
+    yield from req.wait()
+
+
+def streaming_receiver(world):
+    """Poll Parrived and process partitions as they land."""
+    comm = world.comm_world(1)
+    req = yield from comm.precv_init(
+        source=0, tag=4, partitions=N_PARTS, nbytes=TOTAL
+    )
+    yield from req.start()
+    done = set()
+    while len(done) < N_PARTS:
+        progressed = False
+        for p in range(N_PARTS):
+            if p not in done and req.parrived(p):
+                yield world.env.timeout(PROCESS_US * 1e-6)  # consume it
+                done.add(p)
+                progressed = True
+        if not progressed:
+            yield world.env.timeout(1e-6)  # poll interval
+    yield from req.wait()
+    return world.now
+
+
+def blocking_receiver(world):
+    """Wait for everything, then process all partitions."""
+    comm = world.comm_world(1)
+    req = yield from comm.precv_init(
+        source=0, tag=4, partitions=N_PARTS, nbytes=TOTAL
+    )
+    yield from req.start()
+    yield from req.wait()
+    yield world.env.timeout(N_PARTS * PROCESS_US * 1e-6)
+    return world.now
+
+
+def run(receiver_fn):
+    world = MPIWorld(n_ranks=2)
+    world.launch(0, sender(world))
+    p = world.launch(1, receiver_fn(world))
+    world.run()
+    return p.value * 1e6
+
+
+def main():
+    streaming = run(streaming_receiver)
+    blocking = run(blocking_receiver)
+    print(f"streaming consumer (Parrived-driven): {streaming:9.1f} us")
+    print(f"wait-then-process baseline:           {blocking:9.1f} us")
+    print(f"receive-side overlap gain:            x{blocking / streaming:.2f}")
+    print()
+    print("Note the paper's caveat (§3.2.1): Parrived's granularity is the")
+    print("internal *message*, so aggregation trades away exactly this")
+    print("fine-grained consumption — MPICH optimizes for latency instead.")
+    assert streaming < blocking
+
+
+if __name__ == "__main__":
+    main()

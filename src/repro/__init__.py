@@ -1,0 +1,23 @@
+"""repro — reproduction of "Quantifying the Performance Benefits of
+Partitioned Communication in MPI" (Gillis et al., ICPP 2023).
+
+A deterministic discrete-event simulator of an MPICH-like MPI runtime
+(point-to-point, RMA, and MPI-4.0 partitioned communication over a
+UCX-style protocol ladder with VCIs), the paper's analytic performance
+model, and the complete benchmark harness regenerating every figure and
+table of the evaluation.
+
+Quick start
+-----------
+>>> from repro.bench import BenchSpec, run_benchmark
+>>> spec = BenchSpec(approach="pt2pt_part", total_bytes=1 << 20,
+...                  n_threads=4, theta=1, iterations=5)
+>>> result = run_benchmark(spec)
+>>> result.mean_us > 0
+True
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["sim", "net", "mpi", "threads", "model", "bench", "figures",
+           "__version__"]

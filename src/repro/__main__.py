@@ -1,0 +1,69 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro                 # quick grids
+    python -m repro --full          # the paper's full size grids
+    python -m repro --iters 30      # more iterations per point
+    python -m repro --only fig5     # a single figure
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .figures import (
+    fig4_improvement,
+    fig5_congestion,
+    fig6_vcis,
+    fig7_aggregation,
+    fig8_earlybird,
+    tables,
+)
+
+_DRIVERS = {
+    "fig4": fig4_improvement,
+    "fig5": fig5_congestion,
+    "fig6": fig6_vcis,
+    "fig7": fig7_aggregation,
+    "fig8": fig8_earlybird,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__
+    )
+    parser.add_argument("--full", action="store_true",
+                        help="full size grids (slower)")
+    parser.add_argument("--iters", type=int, default=10,
+                        help="iterations per benchmark point")
+    parser.add_argument(
+        "--only",
+        choices=sorted(_DRIVERS) + ["tables"],
+        help="regenerate a single artifact",
+    )
+    args = parser.parse_args(argv)
+
+    if args.only is None or args.only == "tables":
+        print(tables.table1())
+        print()
+        print(tables.table2())
+        if args.only == "tables":
+            return 0
+    selected = (
+        [_DRIVERS[args.only]] if args.only else list(_DRIVERS.values())
+    )
+    for driver in selected:
+        t0 = time.time()
+        data = driver.run(iterations=args.iters, quick=not args.full)
+        print("\n" + "=" * 72)
+        print(driver.report(data))
+        print(f"[regenerated in {time.time() - t0:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

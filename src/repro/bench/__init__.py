@@ -1,0 +1,27 @@
+"""Benchmark harness reproducing the paper's measurement methodology."""
+
+from .approaches import APPROACHES, Approach, ApproachConfig
+from .harness import BenchResult, BenchSpec, build_world, run_benchmark
+from .reporting import format_bandwidth_table, format_ratio_line, format_us_table
+from .stats import SampleStats, needs_rerun, summarize
+from .sweep import SweepResult, size_grid, sweep_approaches, sweep_sizes
+
+__all__ = [
+    "APPROACHES",
+    "Approach",
+    "ApproachConfig",
+    "BenchSpec",
+    "BenchResult",
+    "run_benchmark",
+    "build_world",
+    "SampleStats",
+    "summarize",
+    "needs_rerun",
+    "size_grid",
+    "sweep_sizes",
+    "sweep_approaches",
+    "SweepResult",
+    "format_us_table",
+    "format_bandwidth_table",
+    "format_ratio_line",
+]

@@ -1,0 +1,40 @@
+"""The eight user-level pipelined-communication strategies (§2.3)."""
+
+from typing import Dict, Type
+
+from .base import Approach, ApproachConfig, BENCH_TAG
+from .pt2pt_many import Pt2PtMany
+from .pt2pt_part import Pt2PtPart, Pt2PtPartOld
+from .pt2pt_single import Pt2PtSingle
+from .rma_active import RmaManyActive, RmaSingleActive
+from .rma_passive import RmaManyPassive, RmaSinglePassive
+
+#: Registry: approach key -> class, in the paper's legend order.
+APPROACHES: Dict[str, Type[Approach]] = {
+    cls.name: cls
+    for cls in (
+        Pt2PtSingle,
+        Pt2PtMany,
+        Pt2PtPart,
+        Pt2PtPartOld,
+        RmaSinglePassive,
+        RmaManyPassive,
+        RmaSingleActive,
+        RmaManyActive,
+    )
+}
+
+__all__ = [
+    "Approach",
+    "ApproachConfig",
+    "BENCH_TAG",
+    "APPROACHES",
+    "Pt2PtSingle",
+    "Pt2PtMany",
+    "Pt2PtPart",
+    "Pt2PtPartOld",
+    "RmaSinglePassive",
+    "RmaManyPassive",
+    "RmaSingleActive",
+    "RmaManyActive",
+]

@@ -1,0 +1,179 @@
+"""The approach interface: the Fig. 3 benchmark template's hook points.
+
+Every user-level strategy for the pipelined communication pattern
+implements the same five phases on each side (Tables 1 and 2 of the
+paper):
+
+========  ============================  =============================
+phase     sender                        receiver
+========  ============================  =============================
+init      persistent setup (untimed)    persistent setup (untimed)
+start     master, right after the       master, right after the
+          inter-rank barrier            inter-rank barrier
+ready     per partition, calling        per partition, optional
+          thread's timeline             arrival probe
+wait      master, after the pre-wait    master; returning marks the
+          thread barrier                time-to-solution endpoint
+free      teardown                      teardown
+========  ============================  =============================
+
+All hooks are generators (they take simulated time in the caller's
+timeline).  ``*_thread_init`` hooks run once per thread before the
+iteration loop for approaches needing per-thread state (communicator
+duplicates, windows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ...mpi import Comm, MPIWorld
+
+__all__ = ["ApproachConfig", "Approach"]
+
+#: Tag used by every approach for its payload traffic.
+BENCH_TAG = 17
+
+
+@dataclass
+class ApproachConfig:
+    """Geometry of one benchmark configuration."""
+
+    total_bytes: int
+    n_threads: int = 1
+    theta: int = 1
+
+    def __post_init__(self) -> None:
+        if self.total_bytes < self.n_parts:
+            raise ValueError(
+                f"total_bytes={self.total_bytes} smaller than the partition "
+                f"count {self.n_parts}"
+            )
+        if self.total_bytes % self.n_parts != 0:
+            raise ValueError(
+                f"total_bytes={self.total_bytes} not divisible by "
+                f"{self.n_parts} partitions"
+            )
+
+    @property
+    def n_parts(self) -> int:
+        """Total partitions N_part = N·θ."""
+        return self.n_threads * self.theta
+
+    @property
+    def part_bytes(self) -> int:
+        """Bytes per partition S_part."""
+        return self.total_bytes // self.n_parts
+
+    def partitions_of(self, thread_id: int) -> range:
+        """Global partition indices owned by ``thread_id`` (contiguous,
+        processed in order — §4.2.2)."""
+        return range(thread_id * self.theta, (thread_id + 1) * self.theta)
+
+
+class Approach:
+    """Base class: no-op hooks; subclasses override what they use."""
+
+    #: Registry key and display name (paper's legend label).
+    name = "abstract"
+    label = "abstract"
+    #: True when the approach needs the legacy AM partitioned path;
+    #: the harness builds the world with ``part_force_am`` accordingly.
+    requires_am = False
+
+    def __init__(self, world: MPIWorld, config: ApproachConfig,
+                 sender_rank: int = 0, receiver_rank: int = 1):
+        self.world = world
+        self.config = config
+        self.env = world.env
+        self.sender_rank = sender_rank
+        self.receiver_rank = receiver_rank
+        self.s_comm: Comm = world.comm_world(sender_rank)
+        self.r_comm: Comm = world.comm_world(receiver_rank)
+        self.send_buffer: Optional[np.ndarray] = None
+        self.recv_buffer: Optional[np.ndarray] = None
+        if world.cvars.verify_payloads:
+            rng = world.rng.stream("bench-payload")
+            self.send_buffer = rng.integers(
+                0, 255, size=config.total_bytes, dtype=np.uint8
+            )
+            self.recv_buffer = np.zeros(config.total_bytes, dtype=np.uint8)
+
+    # -- sender hooks ----------------------------------------------------------
+    def s_init(self):
+        """Generator: sender-side persistent setup (untimed region)."""
+        return
+        yield  # pragma: no cover
+
+    def s_thread_init(self, thread_id: int):
+        """Generator: per-thread sender setup (untimed region)."""
+        return
+        yield  # pragma: no cover
+
+    def s_start(self):
+        """Generator: master-thread start operation."""
+        return
+        yield  # pragma: no cover
+
+    def s_ready(self, thread_id: int, partition: int):
+        """Generator: partition ``partition`` is ready on ``thread_id``."""
+        return
+        yield  # pragma: no cover
+
+    def s_wait(self):
+        """Generator: master-thread completion of the send side."""
+        return
+        yield  # pragma: no cover
+
+    def s_free(self):
+        """Generator: sender teardown."""
+        return
+        yield  # pragma: no cover
+
+    # -- receiver hooks ----------------------------------------------------------
+    def r_init(self):
+        """Generator: receiver-side persistent setup (untimed region)."""
+        return
+        yield  # pragma: no cover
+
+    def r_thread_init(self, thread_id: int):
+        """Generator: per-thread receiver setup (untimed region)."""
+        return
+        yield  # pragma: no cover
+
+    def r_start(self):
+        """Generator: master-thread receive start."""
+        return
+        yield  # pragma: no cover
+
+    def r_probe(self, thread_id: int, partition: int):
+        """Generator: optional nonblocking arrival probe."""
+        return
+        yield  # pragma: no cover
+
+    def r_wait(self):
+        """Generator: master-thread receive completion (timing endpoint)."""
+        return
+        yield  # pragma: no cover
+
+    def r_free(self):
+        """Generator: receiver teardown."""
+        return
+        yield  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def verify(self) -> bool:
+        """Payload integrity check (verify mode only)."""
+        if self.send_buffer is None or self.recv_buffer is None:
+            return True
+        return bool((self.send_buffer == self.recv_buffer).all())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug repr
+        c = self.config
+        return (
+            f"<{type(self).__name__} {c.total_bytes}B N={c.n_threads} "
+            f"theta={c.theta}>"
+        )

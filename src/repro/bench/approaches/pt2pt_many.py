@@ -1,0 +1,83 @@
+"""``Pt2Pt many``: one message per partition from its owning thread.
+
+The traditional hand-rolled pipelined pattern (§2.3.2): every thread
+duplicates the communicator (mapping it to its own VCI when available —
+Zambre et al. [14]) and sends each of its partitions as soon as it is
+ready.  This is the approach the paper recommends for many-thread,
+performance-critical codes (§4.2.3), at the cost of user-code
+complexity the partitioned API exists to avoid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .base import BENCH_TAG, Approach
+
+__all__ = ["Pt2PtMany"]
+
+
+class Pt2PtMany(Approach):
+    name = "pt2pt_many"
+    label = "Pt2Pt many"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._s_comms: Dict[int, object] = {}
+        self._r_comms: Dict[int, object] = {}
+        self._s_reqs: Dict[int, object] = {}
+        self._r_reqs: Dict[int, object] = {}
+
+    # -- sender ------------------------------------------------------------
+    def s_thread_init(self, thread_id: int):
+        comm = yield from self.s_comm.dup(key=thread_id)
+        self._s_comms[thread_id] = comm
+        cfg = self.config
+        for p in cfg.partitions_of(thread_id):
+            data = None
+            if self.send_buffer is not None:
+                data = self.send_buffer[
+                    p * cfg.part_bytes : (p + 1) * cfg.part_bytes
+                ]
+            req = comm.send_init(
+                dest=1, tag=BENCH_TAG + p, nbytes=cfg.part_bytes, data=data
+            )
+            self._s_reqs[p] = req
+
+    def s_ready(self, thread_id: int, partition: int):
+        # The owning thread injects its partition immediately (early bird).
+        yield from self._s_reqs[partition].start()
+
+    def s_wait(self):
+        for p in sorted(self._s_reqs):
+            yield from self._s_reqs[p].wait()
+
+    # -- receiver -------------------------------------------------------------
+    def r_thread_init(self, thread_id: int):
+        comm = yield from self.r_comm.dup(key=thread_id)
+        self._r_comms[thread_id] = comm
+        cfg = self.config
+        for p in cfg.partitions_of(thread_id):
+            buf = None
+            if self.recv_buffer is not None:
+                buf = self.recv_buffer[
+                    p * cfg.part_bytes : (p + 1) * cfg.part_bytes
+                ]
+            req = comm.recv_init(
+                source=0, tag=BENCH_TAG + p, nbytes=cfg.part_bytes, buffer=buf
+            )
+            self._r_reqs[p] = req
+
+    def r_start(self):
+        # Receives are pre-posted for the whole iteration up front.
+        for p in sorted(self._r_reqs):
+            yield from self._r_reqs[p].start()
+
+    def r_probe(self, thread_id: int, partition: int):
+        self._r_reqs[partition].test()
+        return
+        yield  # pragma: no cover
+
+    def r_wait(self):
+        for p in sorted(self._r_reqs):
+            yield from self._r_reqs[p].wait()

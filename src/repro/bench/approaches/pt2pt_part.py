@@ -1,0 +1,86 @@
+"""``Pt2Pt part``: MPI 4.0 partitioned communication (improved and old).
+
+The paper's subject: the sender initializes one partitioned request over
+the whole buffer (Table 1: ``MPI_Psend_init`` / ``MPI_Start`` /
+``MPI_Pready`` / ``MPI_Wait``), threads mark their partitions ready, the
+receiver probes with ``MPI_Parrived``.
+
+Two registry entries share this implementation:
+
+* ``pt2pt_part`` — the improved tag-matched path (requires a world whose
+  ``Cvars.part_force_am`` is False);
+* ``pt2pt_part_old`` — the legacy single-AM path (build the world with
+  ``Cvars(part_force_am=True)``); the benchmark driver does this
+  automatically from the approach name.
+"""
+
+from __future__ import annotations
+
+from .base import BENCH_TAG, Approach
+
+__all__ = ["Pt2PtPart", "Pt2PtPartOld"]
+
+
+class Pt2PtPart(Approach):
+    name = "pt2pt_part"
+    label = "Pt2Pt part"
+    #: Set by the driver when building the world for this approach.
+    requires_am = False
+
+    def s_init(self):
+        cfg = self.config
+        self._sreq = yield from self.s_comm.psend_init(
+            dest=1,
+            tag=BENCH_TAG,
+            partitions=cfg.n_parts,
+            nbytes=cfg.total_bytes,
+            data=self.send_buffer,
+        )
+
+    def s_start(self):
+        yield from self._sreq.start()
+
+    def s_ready(self, thread_id: int, partition: int):
+        yield from self._sreq.pready(partition, thread_id=thread_id)
+
+    def s_wait(self):
+        yield from self._sreq.wait()
+
+    def s_free(self):
+        self._sreq.free()
+        return
+        yield  # pragma: no cover
+
+    def r_init(self):
+        cfg = self.config
+        self._rreq = yield from self.r_comm.precv_init(
+            source=0,
+            tag=BENCH_TAG,
+            partitions=cfg.n_parts,
+            nbytes=cfg.total_bytes,
+            buffer=self.recv_buffer,
+        )
+
+    def r_start(self):
+        yield from self._rreq.start()
+
+    def r_probe(self, thread_id: int, partition: int):
+        self._rreq.parrived(partition)
+        return
+        yield  # pragma: no cover
+
+    def r_wait(self):
+        yield from self._rreq.wait()
+
+    def r_free(self):
+        self._rreq.free()
+        return
+        yield  # pragma: no cover
+
+
+class Pt2PtPartOld(Pt2PtPart):
+    """The pre-improvement AM path (Fig. 4's ``Pt2Pt part - old``)."""
+
+    name = "pt2pt_part_old"
+    label = "Pt2Pt part - old"
+    requires_am = True

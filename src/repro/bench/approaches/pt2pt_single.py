@@ -1,0 +1,47 @@
+"""``Pt2Pt single``: bulk thread synchronization + one persistent send.
+
+The baseline of every comparison in the paper (Figs. 4–8): threads
+synchronize, then the master sends the whole buffer as one message
+(Table 1: init ``MPI_Send_init``; wait ``MPI_Start`` + ``MPI_Wait``).
+No early-bird effect, but also a single latency and zero contention —
+which is why it wins at small sizes.
+"""
+
+from __future__ import annotations
+
+from .base import BENCH_TAG, Approach
+
+__all__ = ["Pt2PtSingle"]
+
+
+class Pt2PtSingle(Approach):
+    name = "pt2pt_single"
+    label = "Pt2Pt single"
+
+    def s_init(self):
+        self._sreq = self.s_comm.send_init(
+            dest=1, tag=BENCH_TAG, nbytes=self.config.total_bytes,
+            data=self.send_buffer,
+        )
+        return
+        yield  # pragma: no cover
+
+    def s_wait(self):
+        # Bulk semantics: the send begins only after every thread passed
+        # the pre-wait barrier.
+        yield from self._sreq.start()
+        yield from self._sreq.wait()
+
+    def r_init(self):
+        self._rreq = self.r_comm.recv_init(
+            source=0, tag=BENCH_TAG, nbytes=self.config.total_bytes,
+            buffer=self.recv_buffer,
+        )
+        return
+        yield  # pragma: no cover
+
+    def r_start(self):
+        yield from self._rreq.start()
+
+    def r_wait(self):
+        yield from self._rreq.wait()

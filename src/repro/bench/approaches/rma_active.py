@@ -1,0 +1,99 @@
+"""RMA active-target (PSCW) approaches (§2.3.3).
+
+The send–receive pattern is naturally active-target: the receiver
+controls exposure with ``MPI_Post``/``MPI_Wait`` and the origin opens
+and closes access epochs with ``MPI_Start``/``MPI_Complete`` (Tables
+1 and 2).  The explicit epoch control replaces the passive variants'
+0-byte token messages.
+
+``RMA single - active`` uses one window (plus a ``Comm_dup`` per Table
+1); ``RMA many - active`` posts/completes one epoch per thread-window
+per iteration.
+"""
+
+from __future__ import annotations
+
+from ...mpi.rma import win_create
+from .base import Approach
+
+__all__ = ["RmaSingleActive", "RmaManyActive"]
+
+
+class _RmaActiveBase(Approach):
+    def _n_windows(self) -> int:
+        raise NotImplementedError
+
+    def _window_of(self, thread_id: int):
+        raise NotImplementedError
+
+    # -- sender ----------------------------------------------------------------
+    def s_init(self):
+        if self._n_windows() == 1:
+            # Table 1 lists MPI_Comm_dup for the single-window variant.
+            yield from self.s_comm.dup(key=-1)
+        self._s_wins = []
+        for _ in range(self._n_windows()):
+            win = yield from win_create(self.s_comm, self.config.total_bytes)
+            self._s_wins.append(win)
+
+    def s_start(self):
+        # Open the access epochs; blocks on the targets' post tokens.
+        for win in self._s_wins:
+            yield from win.start([1])
+
+    def s_ready(self, thread_id: int, partition: int):
+        cfg = self.config
+        win = self._window_of(thread_id)
+        data = None
+        if self.send_buffer is not None:
+            data = self.send_buffer[
+                partition * cfg.part_bytes : (partition + 1) * cfg.part_bytes
+            ]
+        yield from win.put(
+            1, partition * cfg.part_bytes, cfg.part_bytes, data
+        )
+
+    def s_wait(self):
+        for win in self._s_wins:
+            yield from win.complete()
+
+    # -- receiver ----------------------------------------------------------------
+    def r_init(self):
+        if self._n_windows() == 1:
+            yield from self.r_comm.dup(key=-1)
+        self._r_wins = []
+        for _ in range(self._n_windows()):
+            win = yield from win_create(
+                self.r_comm, self.config.total_bytes, self.recv_buffer
+            )
+            self._r_wins.append(win)
+
+    def r_start(self):
+        for win in self._r_wins:
+            yield from win.post([0])
+
+    def r_wait(self):
+        for win in self._r_wins:
+            yield from win.wait()
+
+
+class RmaSingleActive(_RmaActiveBase):
+    name = "rma_single_active"
+    label = "RMA single - active"
+
+    def _n_windows(self) -> int:
+        return 1
+
+    def _window_of(self, thread_id: int):
+        return self._s_wins[0]
+
+
+class RmaManyActive(_RmaActiveBase):
+    name = "rma_many_active"
+    label = "RMA many - active"
+
+    def _n_windows(self) -> int:
+        return self.config.n_threads
+
+    def _window_of(self, thread_id: int):
+        return self._s_wins[thread_id]

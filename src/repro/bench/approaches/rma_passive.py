@@ -1,0 +1,126 @@
+"""RMA passive-target approaches (§2.3.3).
+
+Both variants hold a ``MODE_NOCHECK`` lock for the job's lifetime (the
+paper's choice to keep the receiver out of the lock synchronization) and
+emulate the active pattern with explicit 0-byte exposure/completion
+messages (Tables 1 and 2):
+
+* sender start = ``MPI_Recv`` of the receiver's exposure token,
+* thread ready = ``MPI_Put`` of the partition,
+* sender wait = ``MPI_Win_flush`` (+ one per window for *many*) then an
+  ``MPI_Send`` completion notification the receiver's wait blocks on.
+
+``RMA single - passive`` shares one window among all threads (puts
+contend on its VCI); ``RMA many - passive`` gives each thread its own
+window over the entire buffer — more VCIs when available, but more
+windows for the progress engine to scan on a single VCI (Fig. 5's
+upward shift).
+"""
+
+from __future__ import annotations
+
+from ...mpi import MODE_NOCHECK
+from ...mpi.rma import win_create
+from .base import Approach
+
+__all__ = ["RmaSinglePassive", "RmaManyPassive"]
+
+#: Tag for the 0-byte exposure and completion tokens.
+TOKEN_TAG = 23
+
+
+class _RmaPassiveBase(Approach):
+    """Common passive-target scaffolding; ``n_windows`` differs."""
+
+    def _n_windows(self) -> int:
+        raise NotImplementedError
+
+    def _window_of(self, thread_id: int):
+        raise NotImplementedError
+
+    # -- sender ----------------------------------------------------------------
+    def s_init(self):
+        # Table 1: MPI_Comm_dup (token channel) + MPI_Win_create +
+        # MPI_Win_lock.  The same dup key on both sides pairs them.
+        self._s_token_comm = yield from self.s_comm.dup(key=-1)
+        self._s_wins = []
+        for _ in range(self._n_windows()):
+            win = yield from win_create(self.s_comm, self.config.total_bytes)
+            yield from win.lock(1, assertion=MODE_NOCHECK)
+            self._s_wins.append(win)
+
+    def s_start(self):
+        # Wait for the receiver's exposure token.
+        yield from self._s_token_comm.recv(source=1, tag=TOKEN_TAG, nbytes=0)
+
+    #: Whether each thread flushes its own window after its last put
+    #: (RMA many) or the master flushes once in the wait phase (single).
+    thread_flush = False
+
+    def s_ready(self, thread_id: int, partition: int):
+        cfg = self.config
+        win = self._window_of(thread_id)
+        data = None
+        if self.send_buffer is not None:
+            data = self.send_buffer[
+                partition * cfg.part_bytes : (partition + 1) * cfg.part_bytes
+            ]
+        yield from win.put(
+            1, partition * cfg.part_bytes, cfg.part_bytes, data
+        )
+        if self.thread_flush and partition == cfg.partitions_of(thread_id)[-1]:
+            # With one window per thread, each thread flushes its own
+            # window as soon as its puts are issued — concurrent flushes
+            # are what let RMA many win once every window has its own
+            # VCI (Fig. 6).
+            yield from win.flush(1)
+
+    def s_wait(self):
+        if not self.thread_flush:
+            for win in self._s_wins:
+                yield from win.flush(1)
+        yield from self._s_token_comm.send(dest=1, tag=TOKEN_TAG, nbytes=0)
+
+    def s_free(self):
+        for win in self._s_wins:
+            yield from win.unlock(1, assertion=MODE_NOCHECK)
+
+    # -- receiver ----------------------------------------------------------------
+    def r_init(self):
+        self._r_token_comm = yield from self.r_comm.dup(key=-1)
+        self._r_wins = []
+        for _ in range(self._n_windows()):
+            win = yield from win_create(
+                self.r_comm, self.config.total_bytes, self.recv_buffer
+            )
+            self._r_wins.append(win)
+
+    def r_start(self):
+        # Expose: tell the sender the buffer is ready this iteration.
+        yield from self._r_token_comm.send(dest=0, tag=TOKEN_TAG, nbytes=0)
+
+    def r_wait(self):
+        yield from self._r_token_comm.recv(source=0, tag=TOKEN_TAG, nbytes=0)
+
+
+class RmaSinglePassive(_RmaPassiveBase):
+    name = "rma_single_passive"
+    label = "RMA single - passive"
+
+    def _n_windows(self) -> int:
+        return 1
+
+    def _window_of(self, thread_id: int):
+        return self._s_wins[0]
+
+
+class RmaManyPassive(_RmaPassiveBase):
+    name = "rma_many_passive"
+    label = "RMA many - passive"
+    thread_flush = True
+
+    def _n_windows(self) -> int:
+        return self.config.n_threads
+
+    def _window_of(self, thread_id: int):
+        return self._s_wins[thread_id]

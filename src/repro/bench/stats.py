@@ -1,0 +1,65 @@
+"""Measurement statistics: the paper's confidence-interval methodology.
+
+§4 of the paper: 150 iterations + 1 warm-up; results reported as the
+mean with a 90 % confidence interval assuming a Student's
+t-distribution; a measurement is *rerun* when the CI half-width exceeds
+5 % of the mean, up to 50 retries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from scipy import stats as _scipy_stats
+
+__all__ = ["SampleStats", "summarize", "needs_rerun"]
+
+#: The paper's confidence level.
+CONFIDENCE = 0.90
+#: The paper's acceptance rule: CI half-width <= 5 % of the mean.
+CI_FRACTION = 0.05
+#: The paper's retry cap.
+MAX_RETRIES = 50
+
+
+@dataclass(frozen=True)
+class SampleStats:
+    """Summary of one measurement's iteration times."""
+
+    n: int
+    mean: float
+    std: float
+    ci_half: float
+    minimum: float
+    maximum: float
+
+    @property
+    def relative_ci(self) -> float:
+        """CI half-width as a fraction of the mean (the 5 % rule input)."""
+        if self.mean == 0:
+            return 0.0
+        return self.ci_half / self.mean
+
+
+def summarize(samples: Sequence[float], confidence: float = CONFIDENCE) -> SampleStats:
+    """Mean and Student-t confidence half-width of ``samples``."""
+    n = len(samples)
+    if n == 0:
+        raise ValueError("no samples")
+    mean = sum(samples) / n
+    if n == 1:
+        return SampleStats(1, mean, 0.0, 0.0, mean, mean)
+    var = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    std = math.sqrt(var)
+    if std == 0.0:
+        return SampleStats(n, mean, 0.0, 0.0, min(samples), max(samples))
+    t_crit = float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+    ci_half = t_crit * std / math.sqrt(n)
+    return SampleStats(n, mean, std, ci_half, min(samples), max(samples))
+
+
+def needs_rerun(stats: SampleStats, ci_fraction: float = CI_FRACTION) -> bool:
+    """The paper's rerun rule: CI half-width > ``ci_fraction`` of mean."""
+    return stats.relative_ci > ci_fraction

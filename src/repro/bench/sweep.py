@@ -1,0 +1,113 @@
+"""Parameter sweeps: message-size series for the paper's figures."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .harness import BenchResult, BenchSpec, run_benchmark
+
+__all__ = ["size_grid", "sweep_sizes", "sweep_approaches", "SweepResult"]
+
+
+def size_grid(
+    min_bytes: int,
+    max_bytes: int,
+    points_per_decade: int = 3,
+    multiple_of: int = 1,
+) -> List[int]:
+    """Logarithmic size grid, each entry rounded to ``multiple_of``.
+
+    Power-of-two based: returns sizes ``multiple_of * 2^k`` covering
+    [min_bytes, max_bytes] (``points_per_decade`` is accepted for
+    API symmetry but the grid is per-octave, matching the paper's
+    log-scale x axes).
+    """
+    if min_bytes < 1 or max_bytes < min_bytes:
+        raise ValueError("need 1 <= min_bytes <= max_bytes")
+    if multiple_of < 1:
+        raise ValueError("multiple_of must be >= 1")
+    sizes: List[int] = []
+    size = multiple_of
+    while size < min_bytes:
+        size *= 2
+    while size <= max_bytes:
+        sizes.append(size)
+        size *= 2
+    if not sizes:
+        raise ValueError("empty size grid")
+    return sizes
+
+
+class SweepResult:
+    """Series of benchmark results keyed by (approach, total_bytes)."""
+
+    def __init__(self) -> None:
+        self._results: Dict[tuple, BenchResult] = {}
+
+    def add(self, result: BenchResult) -> None:
+        key = (result.spec.approach, result.spec.total_bytes)
+        self._results[key] = result
+
+    def get(self, approach: str, total_bytes: int) -> BenchResult:
+        return self._results[(approach, total_bytes)]
+
+    def sizes(self, approach: str) -> List[int]:
+        return sorted(
+            size for (a, size) in self._results if a == approach
+        )
+
+    def approaches(self) -> List[str]:
+        return sorted({a for (a, _) in self._results})
+
+    def series_us(self, approach: str) -> List[tuple]:
+        """(size, mean_us, ci_half_us) series for one approach."""
+        return [
+            (
+                size,
+                self.get(approach, size).mean_us,
+                self.get(approach, size).stats.ci_half * 1e6,
+            )
+            for size in self.sizes(approach)
+        ]
+
+    def series_bandwidth(self, approach: str) -> List[tuple]:
+        """(size, GB/s) series for one approach (Fig. 8's metric)."""
+        return [
+            (size, self.get(approach, size).bandwidth_gbs)
+            for size in self.sizes(approach)
+        ]
+
+    def ratio(self, approach: str, baseline: str, total_bytes: int) -> float:
+        """Time ratio approach/baseline at one size (penalty factor)."""
+        return (
+            self.get(approach, total_bytes).mean
+            / self.get(baseline, total_bytes).mean
+        )
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+
+def sweep_sizes(
+    base: BenchSpec,
+    sizes: Sequence[int],
+    out: Optional[SweepResult] = None,
+) -> SweepResult:
+    """Run ``base`` across message sizes."""
+    result = out if out is not None else SweepResult()
+    for size in sizes:
+        result.add(run_benchmark(replace(base, total_bytes=size)))
+    return result
+
+
+def sweep_approaches(
+    base: BenchSpec,
+    approaches: Iterable[str],
+    sizes: Sequence[int],
+) -> SweepResult:
+    """Run several approaches across message sizes (one figure's data)."""
+    result = SweepResult()
+    for name in approaches:
+        sweep_sizes(replace(base, approach=name), sizes, out=result)
+    return result

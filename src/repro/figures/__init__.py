@@ -1,0 +1,32 @@
+"""Per-figure experiment drivers regenerating every table and figure.
+
+Each module exposes ``run(iterations=..., quick=...) -> FigureData`` and
+``report(data) -> str``:
+
+* :mod:`.fig4_improvement` — improved vs old implementation (Fig. 4);
+* :mod:`.fig5_congestion` — 32-thread congestion, one VCI (Fig. 5);
+* :mod:`.fig6_vcis` — congestion relief with 32 VCIs (Fig. 6);
+* :mod:`.fig7_aggregation` — message aggregation (Fig. 7);
+* :mod:`.fig8_earlybird` — early-bird bandwidth gain (Fig. 8);
+* :mod:`.tables` — the approach/operation matrices (Tables 1-2).
+"""
+
+from . import (
+    fig4_improvement,
+    fig5_congestion,
+    fig6_vcis,
+    fig7_aggregation,
+    fig8_earlybird,
+    tables,
+)
+from .common import FigureData
+
+__all__ = [
+    "FigureData",
+    "fig4_improvement",
+    "fig5_congestion",
+    "fig6_vcis",
+    "fig7_aggregation",
+    "fig8_earlybird",
+    "tables",
+]

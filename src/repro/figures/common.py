@@ -1,0 +1,63 @@
+"""Shared scaffolding for the per-figure experiment drivers.
+
+Each ``figN_*`` module exposes
+
+* ``SIZES`` / configuration constants matching the paper's setup,
+* ``run(iterations=..., quick=...)`` returning a :class:`FigureData`,
+* ``report(data)`` returning the printable reproduction of the figure.
+
+``quick=True`` shrinks the size grid (used by the pytest-benchmark
+drivers so a full regeneration stays tractable); the full grid matches
+the paper's axis ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..bench import BenchSpec, SweepResult, sweep_approaches
+
+__all__ = ["FigureData", "run_grid", "paper_sizes"]
+
+
+@dataclass
+class FigureData:
+    """One figure's regenerated data plus its headline comparisons."""
+
+    figure: str
+    sweep: SweepResult
+    #: Named scalar findings (penalty factors, gains, crossovers).
+    headline: Dict[str, float] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+
+def paper_sizes(min_bytes: int, max_bytes: int, n_parts: int,
+                quick: bool = False) -> List[int]:
+    """Log-2 size grid divisible by the partition count.
+
+    ``quick`` keeps ~4 sizes spanning the range (for CI benchmarks).
+    """
+    sizes: List[int] = []
+    size = n_parts
+    while size < min_bytes:
+        size *= 2
+    while size <= max_bytes:
+        sizes.append(size)
+        size *= 2
+    if quick and len(sizes) > 4:
+        stride = (len(sizes) - 1) / 3.0
+        picked = {sizes[round(i * stride)] for i in range(4)}
+        sizes = sorted(picked)
+    return sizes
+
+
+def run_grid(
+    figure: str,
+    approaches: Sequence[str],
+    sizes: Sequence[int],
+    base: BenchSpec,
+) -> FigureData:
+    """Sweep approaches × sizes and wrap the result."""
+    sweep = sweep_approaches(base, approaches, sizes)
+    return FigureData(figure=figure, sweep=sweep)

@@ -1,0 +1,42 @@
+"""Analytic performance models of the paper (§2.2 and Appendix A)."""
+
+from .delay import delay_time, gamma_theta, mu_rate, sigma_noise
+from .pipeline import (
+    crossover_bytes,
+    eta_large,
+    eta_small,
+    gamma_from_us_per_mb,
+    gamma_to_us_per_mb,
+    t_bulk,
+    t_pipelined,
+)
+from .predict import MessagePrediction, predict_eta, predict_message_time
+from .workloads import (
+    FFT,
+    PAPER_FFT_TABLE,
+    PAPER_STENCIL_GAMMAS,
+    STENCIL,
+    Workload,
+)
+
+__all__ = [
+    "t_bulk",
+    "t_pipelined",
+    "eta_large",
+    "eta_small",
+    "crossover_bytes",
+    "gamma_from_us_per_mb",
+    "gamma_to_us_per_mb",
+    "mu_rate",
+    "sigma_noise",
+    "gamma_theta",
+    "delay_time",
+    "Workload",
+    "FFT",
+    "STENCIL",
+    "PAPER_FFT_TABLE",
+    "PAPER_STENCIL_GAMMAS",
+    "MessagePrediction",
+    "predict_message_time",
+    "predict_eta",
+]

@@ -1,0 +1,62 @@
+"""The delay-rate model of Appendix A (Eqs. 6–9).
+
+The delay between the first and last partition becoming ready is
+``D = γ_θ · S_part`` where the delay rate
+
+    γ_θ = µ · (θ + σ·(√θ + 1) − 1)          (Eq. 9)
+
+with ``σ = (ε + δ)/2`` and the average compute rate
+
+    µ = (AI / CI) · 1 / (8·F)               (Eq. 6)
+
+for arithmetic intensity AI (flop/B), communication intensity CI (bytes
+moved per byte of memory used), CPU frequency F (Hz), and 8 flops per
+cycle.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["mu_rate", "sigma_noise", "gamma_theta", "delay_time"]
+
+
+def mu_rate(ai: float, ci: float, frequency_hz: float, flops_per_cycle: int = 8) -> float:
+    """Eq. (6): average compute rate µ in s/B.
+
+    ``µ = (AI/CI) / (flops_per_cycle · F)``.
+    """
+    if ai <= 0 or ci <= 0:
+        raise ValueError("AI and CI must be positive")
+    if frequency_hz <= 0 or flops_per_cycle <= 0:
+        raise ValueError("frequency and flops/cycle must be positive")
+    return (ai / ci) / (flops_per_cycle * frequency_hz)
+
+
+def sigma_noise(epsilon: float, delta: float) -> float:
+    """σ = (ε + δ)/2: accumulated relative noise (Eq. 7)."""
+    if epsilon < 0 or delta < 0:
+        raise ValueError("epsilon and delta must be >= 0")
+    return (epsilon + delta) / 2.0
+
+
+def gamma_theta(mu: float, theta: int, epsilon: float, delta: float) -> float:
+    """Eq. (9): the delay rate γ_θ in s/B.
+
+    ``γ_θ = µ·(θ + (ε+δ)/2 · (√θ + 1) − 1)``: the last of a thread's θ
+    partitions finishes after ``µ·S·(θ + √θ·σ)`` while the first
+    partition anywhere finishes after ``µ·S·(1 − σ)``.
+    """
+    if mu < 0:
+        raise ValueError("mu must be >= 0")
+    if theta < 1:
+        raise ValueError("theta must be >= 1")
+    sigma = sigma_noise(epsilon, delta)
+    return mu * (theta + sigma * (math.sqrt(theta) + 1.0) - 1.0)
+
+
+def delay_time(gamma: float, part_bytes: float) -> float:
+    """``D = γ_θ · S_part`` (Eq. 8)."""
+    if gamma < 0 or part_bytes < 0:
+        raise ValueError("gamma and part_bytes must be >= 0")
+    return gamma * part_bytes

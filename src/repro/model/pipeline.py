@@ -1,0 +1,124 @@
+"""The paper's analytic performance model (§2.2, Eqs. 1–5).
+
+All quantities in SI units: sizes in bytes, times in seconds, bandwidth
+in B/s, delay rates γ in s/B (the paper quotes µs/MB; 1 µs/MB = 1e-12
+s/B × 1e6 = 1e-12·… — use :func:`gamma_from_us_per_mb` to convert).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "gamma_from_us_per_mb",
+    "gamma_to_us_per_mb",
+    "t_bulk",
+    "t_pipelined",
+    "eta_large",
+    "eta_small",
+    "crossover_bytes",
+]
+
+
+def gamma_from_us_per_mb(gamma_us_per_mb: float) -> float:
+    """Convert a delay rate from µs/MB (paper units) to s/B."""
+    return gamma_us_per_mb * 1e-6 / 1e6
+
+
+def gamma_to_us_per_mb(gamma_si: float) -> float:
+    """Convert a delay rate from s/B to µs/MB."""
+    return gamma_si * 1e6 * 1e6
+
+
+def t_bulk(n_threads: int, theta: int, part_bytes: float, beta: float) -> float:
+    """Eq. (2): bulk-synchronized communication time.
+
+    ``T_b ≈ N_part · S_part / β`` with ``N_part = N·θ``.
+    """
+    _validate(n_threads, theta, part_bytes, beta)
+    return n_threads * theta * part_bytes / beta
+
+
+def t_pipelined(
+    n_threads: int,
+    theta: int,
+    part_bytes: float,
+    beta: float,
+    gamma: float,
+) -> float:
+    """Eq. (3): pipelined communication time.
+
+    ``T_p ≈ max((N_part − 1)·S_part/β − D, 0) + S_part/β`` with the
+    delay ``D = γ·θ·S_part`` hidden behind the first ``N_part − 1``
+    transfers (γ here is the per-θ delay rate γ_θ of Eq. 9, applied as
+    ``D = γ_θ · S_part`` — see Appendix A).
+    """
+    _validate(n_threads, theta, part_bytes, beta)
+    if gamma < 0:
+        raise ValueError("gamma must be >= 0")
+    n_part = n_threads * theta
+    delay = gamma * part_bytes
+    overlap = max((n_part - 1) * part_bytes / beta - delay, 0.0)
+    return overlap + part_bytes / beta
+
+
+def eta_large(n_threads: int, theta: int, beta: float, gamma: float) -> float:
+    """Eq. (4): the large-message gain of pipelining.
+
+    ``η = N·θ / max(N·θ − γ_θ·β, 1)`` — independent of the partition
+    size because both numerator and denominator scale with it.
+    """
+    if n_threads < 1 or theta < 1:
+        raise ValueError("need n_threads >= 1 and theta >= 1")
+    if beta <= 0:
+        raise ValueError("beta must be positive")
+    if gamma < 0:
+        raise ValueError("gamma must be >= 0")
+    n_part = n_threads * theta
+    return n_part / max(n_part - gamma * beta, 1.0)
+
+
+def eta_small(n_threads: int, theta: int) -> float:
+    """Eq. (5): the latency-dominated small-message "gain".
+
+    ``η = 1/(N·θ)`` — pipelining *loses* by the number of messages when
+    latency dominates and delay is negligible.
+    """
+    if n_threads < 1 or theta < 1:
+        raise ValueError("need n_threads >= 1 and theta >= 1")
+    return 1.0 / (n_threads * theta)
+
+
+def crossover_bytes(
+    n_threads: int,
+    theta: int,
+    beta: float,
+    gamma: float,
+    latency: float,
+) -> float:
+    """Estimated total message size where pipelining starts to win.
+
+    Below the crossover, the extra per-message latencies of ``N·θ``
+    messages dominate; above it, the early-bird overlap does.  Setting
+    the latency penalty ``(N·θ − 1)·L`` against the overlap gain
+    ``min(γ_θ·β, N·θ − 1)·S_part/β`` and solving for the total size
+    ``N·θ·S_part`` gives a closed form.  The paper observes ≈100 kB for
+    the Fig. 8 configuration.
+    """
+    if latency < 0:
+        raise ValueError("latency must be >= 0")
+    n_part = n_threads * theta
+    if n_part == 1:
+        return 0.0
+    effective = min(gamma * beta, float(n_part - 1))
+    if effective <= 0:
+        return float("inf")
+    part_bytes = (n_part - 1) * latency * beta / effective
+    return n_part * part_bytes
+
+
+def _validate(n_threads: int, theta: int, part_bytes: float, beta: float) -> None:
+    if n_threads < 1 or theta < 1:
+        raise ValueError("need n_threads >= 1 and theta >= 1")
+    if part_bytes < 0:
+        raise ValueError("part_bytes must be >= 0")
+    if beta <= 0:
+        raise ValueError("beta must be positive")

@@ -1,0 +1,100 @@
+"""End-to-end predictions for benchmark configurations.
+
+Combines the wire model (:class:`SystemParams`) with the analytic
+pipeline model to predict what the simulator should measure — used by
+the validation tests (model vs simulation) and by the experiment
+reports in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..net import Protocol, SystemParams
+from .pipeline import eta_large, t_bulk, t_pipelined
+
+__all__ = ["MessagePrediction", "predict_message_time", "predict_eta"]
+
+
+@dataclass(frozen=True)
+class MessagePrediction:
+    """Breakdown of a single point-to-point message's predicted time."""
+
+    nbytes: int
+    protocol: Protocol
+    post: float
+    copies: float
+    wire: float
+    latency: float
+    handshake: float
+    recv: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.post + self.copies + self.wire + self.latency
+            + self.handshake + self.recv
+        )
+
+
+def predict_message_time(params: SystemParams, nbytes: int) -> MessagePrediction:
+    """First-order prediction of one tag-matched message's latency.
+
+    Mirrors the simulator's cost composition for an uncontended,
+    pre-posted receive:
+
+    * ``short``: post + wire + L + match;
+    * ``bcopy``: + pack and unpack memcpys;
+    * ``zcopy``: + RTS/CTS round trip (two extra wire latencies and the
+      control handling), data at full bandwidth with no copies.
+    """
+    proto = params.protocol_for(nbytes)
+    post = params.post_overhead
+    recv = params.recv_overhead
+    copies = 0.0
+    handshake = 0.0
+    wire = params.wire_time(nbytes)
+    if proto is Protocol.BCOPY:
+        copies = 2.0 * params.copy_time(nbytes)
+    elif proto is Protocol.ZCOPY:
+        # RTS: wire + latency + ctrl handling; CTS: ctrl post + wire +
+        # latency + ctrl handling; then the data packet.
+        handshake = (
+            params.wire_time(0) + params.latency + params.ctrl_overhead
+            + params.ctrl_overhead + params.wire_time(0) + params.latency
+            + params.ctrl_overhead
+        )
+        recv = params.put_handler_overhead
+        # data posted by the progress engine
+        handshake += params.post_overhead
+        post = params.post_overhead
+    return MessagePrediction(
+        nbytes=nbytes,
+        protocol=proto,
+        post=post,
+        copies=copies,
+        wire=wire,
+        latency=params.latency,
+        handshake=handshake,
+        recv=recv,
+    )
+
+
+def predict_eta(
+    n_threads: int,
+    theta: int,
+    gamma: float,
+    params: SystemParams,
+    part_bytes: Optional[float] = None,
+) -> float:
+    """Predicted pipelining gain for a benchmark configuration.
+
+    With ``part_bytes`` given, uses the full Eqs. (2)/(3) ratio;
+    otherwise the asymptotic Eq. (4).
+    """
+    if part_bytes is None:
+        return eta_large(n_threads, theta, params.bandwidth, gamma)
+    tb = t_bulk(n_threads, theta, part_bytes, params.bandwidth)
+    tp = t_pipelined(n_threads, theta, part_bytes, params.bandwidth, gamma)
+    return tb / tp if tp > 0 else float("inf")

@@ -1,0 +1,241 @@
+"""Communicators: isolated matching contexts mapped onto VCIs.
+
+``Comm_dup`` is the MPI-3.1 contention-avoidance tool the paper's
+``Pt2Pt many`` approach uses: each thread duplicates the communicator,
+each duplicate gets a fresh context id, and with ``MPIR_CVAR_NUM_VCIS``
+> 1 different context ids land on different VCIs, removing the shared
+command-queue lock (Zambre et al. [14], §4.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .errors import MPIError
+from .p2p import (
+    PersistentRecvRequest,
+    PersistentSendRequest,
+    RecvRequest,
+    SendRequest,
+)
+from .runtime import BARRIER_TAG, TAG_UB, RankRuntime
+from .status import ANY_SOURCE, ANY_TAG, Status
+from .vci import vci_for_comm
+
+__all__ = ["Comm"]
+
+#: Cost of the local bookkeeping in ``MPI_Comm_dup`` (context allocation,
+#: hash insertion).  The collective agreement itself is resolved through
+#: the world-level context table, so no wire traffic is simulated; dup is
+#: called in the untimed init phase of every benchmark.
+_DUP_LOCAL_COST = 1.0e-6
+
+
+class Comm:
+    """A communicator handle bound to one rank."""
+
+    def __init__(self, rt: RankRuntime, context_id: int, group: Tuple[int, ...]):
+        self.rt = rt
+        self.context_id = context_id
+        self.group = tuple(group)
+        if rt.rank not in self.group:
+            raise MPIError(f"rank {rt.rank} not in group {self.group}")
+        #: The VCI this communicator's traffic uses.
+        self.vci = vci_for_comm(rt.cvars, context_id)
+        self._dup_seq = 0
+
+    # -- group accessors ---------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """This process's rank within the communicator."""
+        return self.group.index(self.rt.rank)
+
+    @property
+    def size(self) -> int:
+        return len(self.group)
+
+    def world_rank(self, comm_rank: int) -> int:
+        """Translate a communicator rank to a world rank."""
+        return self.group[comm_rank]
+
+    # -- point-to-point -------------------------------------------------------------
+    def _check_tag(self, tag: int, allow_any: bool = False) -> None:
+        if allow_any and tag == ANY_TAG:
+            return
+        if not (0 <= tag < TAG_UB):
+            raise MPIError(f"tag {tag} out of range [0, {TAG_UB})")
+
+    def isend(
+        self,
+        dest: int,
+        tag: int,
+        nbytes: int,
+        data: Optional[np.ndarray] = None,
+    ):
+        """Generator: start a nonblocking send; returns the request."""
+        self._check_tag(tag)
+        req = SendRequest(
+            self.rt,
+            self.context_id,
+            self.world_rank(dest),
+            tag,
+            nbytes,
+            self.vci,
+            data,
+        )
+        yield from req.start()
+        return req
+
+    def irecv(
+        self,
+        source: int,
+        tag: int,
+        nbytes: int,
+        buffer: Optional[np.ndarray] = None,
+    ):
+        """Generator: post a nonblocking receive; returns the request."""
+        self._check_tag(tag, allow_any=True)
+        src = source if source == ANY_SOURCE else self.world_rank(source)
+        req = RecvRequest(
+            self.rt, self.context_id, src, tag, nbytes, self.vci, buffer
+        )
+        yield from req.start()
+        return req
+
+    def send(self, dest: int, tag: int, nbytes: int, data=None):
+        """Generator: blocking send."""
+        req = yield from self.isend(dest, tag, nbytes, data)
+        result = yield from req.wait()
+        return result
+
+    def recv(self, source: int, tag: int, nbytes: int, buffer=None) -> Status:
+        """Generator: blocking receive; returns the :class:`Status`."""
+        req = yield from self.irecv(source, tag, nbytes, buffer)
+        status = yield from req.wait()
+        return status
+
+    # -- persistent ---------------------------------------------------------------------
+    def send_init(
+        self, dest: int, tag: int, nbytes: int, data=None
+    ) -> PersistentSendRequest:
+        """``MPI_Send_init`` (no wire traffic; free to create)."""
+        self._check_tag(tag)
+        return PersistentSendRequest(
+            self.rt,
+            self.context_id,
+            self.world_rank(dest),
+            tag,
+            nbytes,
+            self.vci,
+            data,
+        )
+
+    def recv_init(
+        self, source: int, tag: int, nbytes: int, buffer=None
+    ) -> PersistentRecvRequest:
+        """``MPI_Recv_init``."""
+        self._check_tag(tag, allow_any=True)
+        src = source if source == ANY_SOURCE else self.world_rank(source)
+        return PersistentRecvRequest(
+            self.rt, self.context_id, src, tag, nbytes, self.vci, buffer
+        )
+
+    # -- partitioned (MPI 4.0) -------------------------------------------------------------
+    def psend_init(self, dest: int, tag: int, partitions: int, nbytes: int,
+                   data=None):
+        """Generator: ``MPI_Psend_init``.
+
+        Returns an improved-path request unless the runtime is configured
+        for the legacy AM path (``Cvars.part_force_am``) or the internal
+        tag space toward ``dest`` is exhausted — both fall back to the
+        single-active-message implementation (§3.2.1).
+        """
+        from .partitioned import PartitionedSendRequest
+        from .partitioned_am import AmPartitionedSendRequest
+
+        self._check_tag(tag)
+        if self.rt.cvars.part_force_am:
+            req = AmPartitionedSendRequest(
+                self, dest, tag, partitions, nbytes, data
+            )
+        else:
+            req = PartitionedSendRequest(
+                self, dest, tag, partitions, nbytes, data
+            )
+            if req.fell_back_to_am:
+                del self.rt._part_send_registry[req.rid]
+                req = AmPartitionedSendRequest(
+                    self, dest, tag, partitions, nbytes, data
+                )
+        yield from req.init()
+        return req
+
+    def precv_init(self, source: int, tag: int, partitions: int, nbytes: int,
+                   buffer=None):
+        """Generator: ``MPI_Precv_init``.
+
+        The receive side serves both code paths; it learns the sender's
+        path (tag-matched or AM) from the RTS.
+        """
+        from .partitioned import PartitionedRecvRequest
+
+        self._check_tag(tag)
+        req = PartitionedRecvRequest(
+            self, source, tag, partitions, nbytes, buffer
+        )
+        yield from req.init()
+        return req
+
+    # -- collectives ----------------------------------------------------------------------
+    def dup(self, key: Optional[int] = None):
+        """Generator: duplicate the communicator (``MPI_Comm_dup``).
+
+        Context ids are agreed through the world's deterministic context
+        table; with no ``key`` the ranks must perform dup calls in the
+        same order (the MPI requirement for collectives).  When threads
+        of different ranks dup concurrently, pass a stable ``key``
+        (e.g. the thread id) so interleaving differences cannot pair
+        mismatched contexts.
+        """
+        if key is None:
+            key = self._dup_seq
+            self._dup_seq += 1
+        ctx = self.rt.world.alloc_context(self.context_id, key)
+        yield self.rt.env.timeout(_DUP_LOCAL_COST)
+        return Comm(self.rt, ctx, self.group)
+
+    def barrier(self):
+        """Generator: dissemination barrier over the communicator.
+
+        ``ceil(log2(P))`` rounds of 0-byte token exchanges on this
+        communicator's VCI; for the paper's two-rank benchmark this is a
+        single token swap (one round trip of half-duplex latency each
+        way, overlapped).
+        """
+        size = self.size
+        if size == 1:
+            return
+        me = self.rank
+        distance = 1
+        while distance < size:
+            peer_to = self.world_rank((me + distance) % size)
+            peer_from = self.world_rank((me - distance) % size)
+            rreq = RecvRequest(
+                self.rt, self.context_id, peer_from, BARRIER_TAG, 0, self.vci
+            )
+            yield from rreq.start()
+            sreq = SendRequest(
+                self.rt, self.context_id, peer_to, BARRIER_TAG, 0, self.vci
+            )
+            yield from sreq.start()
+            yield from rreq.wait()
+            yield from sreq.wait()
+            distance *= 2
+
+    def __repr__(self) -> str:  # pragma: no cover - debug repr
+        return (
+            f"<Comm ctx={self.context_id} rank={self.rank}/{self.size} "
+            f"vci={self.vci}>"
+        )

@@ -1,0 +1,73 @@
+"""Minimal MPI datatype system.
+
+The benchmark study only needs contiguous byte counts, but the paper's
+discussion of the sender-decides protocol (§3.2.1) hinges on
+*noncontiguous datatypes* making partial-datatype reception hard, so we
+model enough of the datatype system to express that: contiguous base
+types and strided vectors, with packed size vs extent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Datatype", "BYTE", "INT32", "INT64", "FLOAT32", "FLOAT64", "vector"]
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """A datatype with a packed size and a memory extent.
+
+    ``size`` is the number of bytes actually transferred per element;
+    ``extent`` is the span the element occupies in memory.  For
+    contiguous types these are equal; for vectors the extent includes
+    stride gaps.
+    """
+
+    name: str
+    size: int
+    extent: int
+
+    def __post_init__(self) -> None:
+        if self.size < 0 or self.extent < self.size:
+            raise ValueError("need 0 <= size <= extent")
+
+    @property
+    def contiguous(self) -> bool:
+        """True when packing is a plain memcpy."""
+        return self.size == self.extent
+
+    def packed_bytes(self, count: int) -> int:
+        """Bytes on the wire for ``count`` elements."""
+        return self.size * count
+
+    def span_bytes(self, count: int) -> int:
+        """Bytes of memory spanned by ``count`` elements."""
+        if count == 0:
+            return 0
+        return self.extent * (count - 1) + self.size
+
+
+BYTE = Datatype("byte", 1, 1)
+INT32 = Datatype("int32", 4, 4)
+INT64 = Datatype("int64", 8, 8)
+FLOAT32 = Datatype("float32", 4, 4)
+FLOAT64 = Datatype("float64", 8, 8)
+
+
+def vector(base: Datatype, blocklength: int, stride: int, count: int) -> Datatype:
+    """Strided vector type: ``count`` blocks of ``blocklength`` elements
+    separated by ``stride`` elements (in units of ``base``).
+
+    Mirrors ``MPI_Type_vector``: the resulting type is noncontiguous
+    whenever ``stride > blocklength`` and ``count > 1``.
+    """
+    if blocklength < 1 or count < 1:
+        raise ValueError("blocklength and count must be >= 1")
+    if stride < blocklength:
+        raise ValueError("stride must be >= blocklength")
+    size = base.size * blocklength * count
+    extent = base.extent * (stride * (count - 1) + blocklength)
+    return Datatype(
+        f"vector({base.name},{blocklength},{stride},{count})", size, extent
+    )

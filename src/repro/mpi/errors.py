@@ -1,0 +1,39 @@
+"""Error hierarchy of the simulated MPI runtime."""
+
+from __future__ import annotations
+
+__all__ = [
+    "MPIError",
+    "TruncationError",
+    "RequestStateError",
+    "TagSpaceExhausted",
+    "RmaSyncError",
+    "PartitionError",
+]
+
+
+class MPIError(RuntimeError):
+    """Base class for all errors raised by the simulated MPI runtime."""
+
+
+class TruncationError(MPIError):
+    """An incoming message is larger than the posted receive buffer."""
+
+
+class RequestStateError(MPIError):
+    """An operation was applied to a request in the wrong state
+    (e.g. ``start`` on an active persistent request)."""
+
+
+class TagSpaceExhausted(MPIError):
+    """No internal tags remain for partitioned traffic to a peer;
+    the runtime falls back to the active-message path instead of raising
+    unless fallback is disabled."""
+
+
+class RmaSyncError(MPIError):
+    """RMA call outside the required epoch (e.g. ``Put`` before ``Lock``)."""
+
+
+class PartitionError(MPIError):
+    """Invalid partition index or partitioned-request misuse."""

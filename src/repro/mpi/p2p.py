@@ -1,0 +1,137 @@
+"""Point-to-point operations: blocking, nonblocking, and persistent.
+
+These are the MPI-3.1 primitives the paper's baseline approaches use
+(`Pt2Pt single`, `Pt2Pt many`): ``Send/Recv``, ``Isend/Irecv``, and the
+persistent ``Send_init/Recv_init`` + ``Start`` + ``Wait`` family.
+
+All initiating calls are generators: the *calling simulated thread* pays
+the posting costs (VCI lock acquisition, descriptor write, bounce-buffer
+copies), which is precisely where the thread-congestion effects of
+Fig. 5 come from.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .request import PersistentRequest, Request
+
+__all__ = [
+    "SendRequest",
+    "RecvRequest",
+    "PersistentSendRequest",
+    "PersistentRecvRequest",
+]
+
+
+class SendRequest(Request):
+    """One nonblocking send (``MPI_Isend``)."""
+
+    def __init__(
+        self,
+        rt,
+        context_id: int,
+        dest: int,
+        tag: int,
+        nbytes: int,
+        vci: int,
+        data: Optional[np.ndarray] = None,
+    ):
+        super().__init__(rt.env)
+        self.rt = rt
+        self.context_id = context_id
+        self.dest = dest
+        self.tag = tag
+        self.nbytes = nbytes
+        self.vci = vci
+        self.data = data
+
+    def start(self):
+        """Generator: initiate the send (caller pays posting costs)."""
+        yield from self.rt.start_send(self)
+
+
+class RecvRequest(Request):
+    """One nonblocking receive (``MPI_Irecv``)."""
+
+    def __init__(
+        self,
+        rt,
+        context_id: int,
+        source: int,
+        tag: int,
+        nbytes: int,
+        vci: int,
+        buffer: Optional[np.ndarray] = None,
+    ):
+        super().__init__(rt.env)
+        self.rt = rt
+        self.context_id = context_id
+        self.source = source
+        self.tag = tag
+        self.nbytes = nbytes
+        self.vci = vci
+        self.buffer = buffer
+
+    def start(self):
+        """Generator: post the receive."""
+        yield from self.rt.start_recv(self)
+
+
+class PersistentSendRequest(PersistentRequest):
+    """``MPI_Send_init``: a reusable send activated by ``Start``.
+
+    Each activation behaves like a fresh send with the same envelope;
+    eager activations complete locally at post time, rendezvous ones
+    when the data has been injected after the CTS round-trip.
+    """
+
+    def __init__(
+        self,
+        rt,
+        context_id: int,
+        dest: int,
+        tag: int,
+        nbytes: int,
+        vci: int,
+        data: Optional[np.ndarray] = None,
+    ):
+        super().__init__(rt.env)
+        self.rt = rt
+        self.context_id = context_id
+        self.dest = dest
+        self.tag = tag
+        self.nbytes = nbytes
+        self.vci = vci
+        self.data = data
+
+    def _start(self):
+        yield from self.rt.start_send(self)
+
+
+class PersistentRecvRequest(PersistentRequest):
+    """``MPI_Recv_init``: a reusable receive activated by ``Start``."""
+
+    def __init__(
+        self,
+        rt,
+        context_id: int,
+        source: int,
+        tag: int,
+        nbytes: int,
+        vci: int,
+        buffer: Optional[np.ndarray] = None,
+    ):
+        super().__init__(rt.env)
+        self.rt = rt
+        self.context_id = context_id
+        self.source = source
+        self.tag = tag
+        self.nbytes = nbytes
+        self.vci = vci
+        self.buffer = buffer
+
+    def _start(self):
+        yield from self.rt.start_recv(self)

@@ -1,0 +1,152 @@
+"""The legacy AM-based partitioned implementation (§3.1) — "Pt2Pt part - old".
+
+This is the pre-improvement MPICH path the paper benchmarks as the
+baseline in Fig. 4: the whole buffer travels as **one active message**,
+with a counter of ``N_partitions + 1`` — the "+1" accounts for the
+mandatory per-iteration clear-to-send from the receiver, which prevents
+the sender from overrunning a receiver still in the previous iteration.
+
+Costs that make it slow (and that the improved path removes):
+
+* every iteration blocks on a CTS round trip before data can move;
+* the data crosses bounce buffers on **both** sides (AM copies) plus an
+  AM dispatch on delivery, so large messages run at the memcpy rate,
+  not the wire rate;
+* no early-bird effect: nothing is sent until *all* partitions are ready.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..net import Packet, PacketKind
+from ..sim import CountdownLatch
+from .communicator import Comm
+from .contention import ContendedAtomic
+from .errors import PartitionError, RequestStateError
+from .partitioned import PartitionedRecvRequest, _part_registry
+from .request import PersistentRequest
+from .status import Status
+
+__all__ = ["AmPartitionedSendRequest", "AmPartitionedRecvRequest"]
+
+#: The receive side is shared with the improved path: it discovers the
+#: sender's code path from the RTS and switches to AM mode (§3.2.1's
+#: fallback makes the paths interchangeable from the receiver's view).
+AmPartitionedRecvRequest = PartitionedRecvRequest
+
+
+class AmPartitionedSendRequest(PersistentRequest):
+    """``MPI_Psend_init`` on the legacy single-active-message path."""
+
+    def __init__(
+        self,
+        comm: Comm,
+        dest: int,
+        tag: int,
+        partitions: int,
+        nbytes: int,
+        data: Optional[np.ndarray] = None,
+    ):
+        rt = comm.rt
+        super().__init__(rt.env)
+        if partitions < 1:
+            raise PartitionError("partitions must be >= 1")
+        if nbytes % partitions != 0:
+            raise PartitionError(
+                f"buffer of {nbytes} B not divisible into {partitions} partitions"
+            )
+        self.rt = rt
+        self.comm = comm
+        self.dest = comm.world_rank(dest)
+        self.tag = tag
+        self.partitions = partitions
+        self.nbytes = nbytes
+        self.data = data
+        _part_registry(rt)  # install handlers
+        self._latch: Optional[CountdownLatch] = None
+        #: CTS packets that arrived while no iteration was active.
+        self._banked_cts = 0
+        # Single shared counter: every Pready serializes on its cache line.
+        self._atomic = ContendedAtomic(
+            rt.env, rt.params, name=f"psend_am{self.rid}.counter",
+            bounce=rt.params.pready_atomic_bounce,
+        )
+        rt._part_send_registry[self.rid] = self
+
+    # ------------------------------------------------------------------
+    def init(self):
+        """Generator: ``MPI_Psend_init`` sends the AM ready-to-send with
+        the basic buffer/partition information (§3.1)."""
+        yield from self.rt.post_ctrl(
+            self.dest,
+            "part_am_rts",
+            vci=self.comm.vci,
+            kind=PacketKind.AM,
+            ctx=self.comm.context_id,
+            tag=self.tag,
+            sreq=self.rid,
+            n_send=self.partitions,
+            nbytes=self.nbytes,
+            am=True,
+        )
+
+    def _absorb_cts(self, pkt: Packet) -> None:
+        """Per-iteration CTS from the receiver (counter's "+1", §3.1)."""
+        if self._latch is None or self._latch.count == 0:
+            self._banked_cts += 1
+            return
+        if self._latch.count_down():
+            self.rt.spawn(self._send_data())
+
+    def _start(self):
+        # Counter = number of partitions + 1 for the mandatory CTS.
+        self._latch = CountdownLatch(self.env, self.partitions + 1)
+        if self._banked_cts > 0:
+            self._banked_cts -= 1
+            self._latch.count_down()
+        return
+        yield  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def pready(self, partition: int, thread_id: Optional[int] = None):
+        """Generator: decrement the request's single shared counter.
+
+        Every partition of every thread hammers the *same* atomic, and
+        the caller that reaches zero pays the full buffer's AM injection
+        (bounce-buffer copy included) inline.
+        """
+        if not self.active:
+            raise RequestStateError("Pready before MPI_Start")
+        if not 0 <= partition < self.partitions:
+            raise PartitionError(
+                f"partition {partition} out of range [0, {self.partitions})"
+            )
+        yield from self._atomic.update(
+            extra_cost=self.rt.params.pready_overhead
+        )
+        if self._latch.count_down():
+            yield from self._send_data()
+
+    def _send_data(self):
+        """Generator: inject the whole buffer as one active message."""
+        payload = None
+        if self.rt.cvars.verify_payloads and self.data is not None:
+            payload = np.array(self.data, dtype=np.uint8, copy=True).ravel()
+        yield from self.rt.post_ctrl(
+            self.dest,
+            "part_am_data",
+            vci=self.comm.vci,
+            kind=PacketKind.AM,
+            nbytes=self.nbytes,
+            payload=payload,
+            ctx=self.comm.context_id,
+            tag=self.tag,
+            sreq=self.rid,
+        )
+        self.complete(Status(self.rt.rank, self.tag, self.nbytes))
+
+    def _finish_wait(self):
+        yield self.env.timeout(self.rt.params.part_completion_overhead)

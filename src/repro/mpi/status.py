@@ -1,0 +1,27 @@
+"""Receive status objects (the simulated ``MPI_Status``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Status", "ANY_SOURCE", "ANY_TAG"]
+
+#: Wildcard source for receives.
+ANY_SOURCE = -1
+#: Wildcard tag for receives.
+ANY_TAG = -1
+
+
+@dataclass(frozen=True)
+class Status:
+    """Completion metadata of a receive."""
+
+    source: int
+    tag: int
+    nbytes: int
+
+    def count(self, itemsize: int = 1) -> int:
+        """Received element count for a given item size."""
+        if itemsize <= 0:
+            raise ValueError("itemsize must be positive")
+        return self.nbytes // itemsize

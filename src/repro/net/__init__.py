@@ -1,0 +1,17 @@
+"""Network substrate: parameters, packets, NICs/VCIs, and the fabric."""
+
+from .fabric import Fabric
+from .nic import Nic, Vci
+from .packets import Packet, PacketKind
+from .params import MELUXINA, Protocol, SystemParams
+
+__all__ = [
+    "SystemParams",
+    "MELUXINA",
+    "Protocol",
+    "Packet",
+    "PacketKind",
+    "Nic",
+    "Vci",
+    "Fabric",
+]

@@ -1,0 +1,93 @@
+"""Wire packets exchanged between simulated NICs.
+
+A :class:`Packet` is the unit the fabric transmits.  The ``kind`` field
+selects the receive-side cost model and the runtime handler; the
+``header`` dict carries protocol fields (tag, context id, sequence
+numbers, request identifiers).  Packets optionally carry a real
+``payload`` (a ``numpy`` array copy) so integration tests can verify
+end-to-end data movement; benchmark runs use ``payload=None`` and only
+account for ``nbytes``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+__all__ = ["PacketKind", "Packet"]
+
+_packet_ids = itertools.count()
+
+
+class PacketKind:
+    """Enumeration (string constants) of wire packet kinds."""
+
+    #: Eager tag-matched message (short or bcopy protocol).
+    EAGER = "eager"
+    #: Rendezvous ready-to-send control message.
+    RTS = "rts"
+    #: Rendezvous / partitioned clear-to-send control message.
+    CTS = "cts"
+    #: Rendezvous bulk data (zcopy RDMA read/write).
+    RDMA_DATA = "rdma_data"
+    #: Active-message packet (header + bounced payload).
+    AM = "am"
+    #: RMA put data.
+    RMA_PUT = "rma_put"
+    #: RMA control (flush request, flush ack, post/complete tokens).
+    RMA_CTRL = "rma_ctrl"
+    #: Generic 0-byte control (barrier, ack).
+    CTRL = "ctrl"
+
+    ALL = (EAGER, RTS, CTS, RDMA_DATA, AM, RMA_PUT, RMA_CTRL, CTRL)
+
+
+@dataclass
+class Packet:
+    """One message on the wire.
+
+    Attributes
+    ----------
+    kind:
+        One of :class:`PacketKind`.
+    src, dst:
+        Sending and receiving rank.
+    src_vci, dst_vci:
+        VCI index used on each side (MPICH encodes these in the tag).
+    nbytes:
+        Payload bytes carried (0 for pure control packets).
+    header:
+        Protocol fields.
+    payload:
+        Optional data copy for correctness-checked runs.
+    """
+
+    kind: str
+    src: int
+    dst: int
+    nbytes: int = 0
+    src_vci: int = 0
+    dst_vci: int = 0
+    header: Dict[str, Any] = field(default_factory=dict)
+    payload: Optional[np.ndarray] = None
+    uid: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.kind not in PacketKind.ALL:
+            raise ValueError(f"unknown packet kind {self.kind!r}")
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if self.payload is not None and self.payload.nbytes != self.nbytes:
+            raise ValueError(
+                f"payload carries {self.payload.nbytes} B but nbytes={self.nbytes}"
+            )
+
+    def describe(self) -> str:
+        """Short human-readable description for traces."""
+        return (
+            f"{self.kind}#{self.uid} {self.src}->{self.dst} "
+            f"vci{self.src_vci}->{self.dst_vci} {self.nbytes}B"
+        )

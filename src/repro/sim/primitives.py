@@ -1,0 +1,80 @@
+"""Composite events: conjunctions and disjunctions of other events."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .core import PENDING, Environment, Event, SimulationError
+
+__all__ = ["AllOf", "AnyOf", "Condition"]
+
+
+class Condition(Event):
+    """An event triggered when a predicate over child events is satisfied.
+
+    The condition's value is an ordered dict ``{event: value}`` of the
+    child events that had succeeded by the time the condition fired.
+    A failing child event fails the whole condition immediately.
+    """
+
+    __slots__ = ("_events", "_count")
+
+    #: Subclasses set this: number of successes required to fire.
+    def _needed(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __init__(self, env: Environment, events: List[Event]):
+        super().__init__(env)
+        for ev in events:
+            if ev.env is not env:
+                raise SimulationError("events from different environments")
+        self._events = list(events)
+        self._count = 0
+        if not self._events or self._needed() == 0:
+            self.succeed(self._collect())
+            return
+        for ev in self._events:
+            if ev.callbacks is None:  # already processed
+                self._check(ev)
+                if self._value is not PENDING:
+                    break
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> Dict[Event, object]:
+        # Only *processed* events count: a Timeout holds its value from
+        # construction, so checking ``_value`` would claim unfired timeouts.
+        return {
+            ev: ev._value
+            for ev in self._events
+            if ev.callbacks is None and ev._ok
+        }
+
+    def _check(self, event: Event) -> None:
+        if self._value is not PENDING:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._count >= self._needed():
+            self.succeed(self._collect())
+
+
+class AllOf(Condition):
+    """Succeeds when every child event has succeeded."""
+
+    __slots__ = ()
+
+    def _needed(self) -> int:
+        return len(self._events)
+
+
+class AnyOf(Condition):
+    """Succeeds as soon as one child event has succeeded."""
+
+    __slots__ = ()
+
+    def _needed(self) -> int:
+        return min(1, len(self._events))

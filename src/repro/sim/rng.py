@@ -1,0 +1,56 @@
+"""Deterministic named random streams.
+
+Every stochastic element of the simulation (compute noise, jitter) draws
+from a named stream derived from a single root seed, so that adding a new
+consumer of randomness never perturbs existing streams, and runs are
+exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["RngRegistry"]
+
+
+class RngRegistry:
+    """A factory of independent, reproducible random generators.
+
+    Each ``stream(name)`` call returns a generator seeded by
+    ``SHA-256(root_seed || name)``, so streams are independent of each
+    other and of the order in which they are created.
+
+    Example
+    -------
+    >>> reg = RngRegistry(seed=7)
+    >>> a = reg.stream("thread-0")
+    >>> b = reg.stream("thread-1")
+    >>> a is reg.stream("thread-0")
+    True
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (creating if needed) the generator for ``name``."""
+        gen = self._streams.get(name)
+        if gen is None:
+            digest = hashlib.sha256(
+                f"{self.seed}:{name}".encode("utf-8")
+            ).digest()
+            child_seed = int.from_bytes(digest[:8], "little")
+            gen = np.random.default_rng(child_seed)
+            self._streams[name] = gen
+        return gen
+
+    def reset(self) -> None:
+        """Drop all streams; subsequent calls re-derive from the seed."""
+        self._streams.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug repr
+        return f"<RngRegistry seed={self.seed} streams={len(self._streams)}>"

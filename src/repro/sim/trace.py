@@ -1,0 +1,94 @@
+"""Structured event tracing.
+
+A :class:`Tracer` collects timestamped records emitted by the runtime
+(message sent, VCI acquired, partition ready, ...).  Traces serve three
+purposes: debugging the simulator, validating mechanism-level behaviour in
+tests (e.g. "the old AM path sends exactly one data message per
+iteration"), and attributing time in the congestion analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from .core import Environment
+
+__all__ = ["TraceRecord", "Tracer", "NullTracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    category: str
+    event: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        kv = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.time * 1e6:12.3f}us] {self.category}:{self.event} {kv}"
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects with category filtering."""
+
+    def __init__(self, env: Environment, enabled: bool = True):
+        self.env = env
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+        self._filters: Optional[set] = None
+
+    def limit_to(self, *categories: str) -> None:
+        """Record only the given categories (None = all)."""
+        self._filters = set(categories) if categories else None
+
+    def log(self, category: str, event: str, **fields: Any) -> None:
+        """Append a record at the current simulated time."""
+        if not self.enabled:
+            return
+        if self._filters is not None and category not in self._filters:
+            return
+        self.records.append(TraceRecord(self.env.now, category, event, fields))
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        event: Optional[str] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> List[TraceRecord]:
+        """Filter collected records."""
+        out = []
+        for rec in self.records:
+            if category is not None and rec.category != category:
+                continue
+            if event is not None and rec.event != event:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def count(self, category: Optional[str] = None, event: Optional[str] = None) -> int:
+        """Number of matching records."""
+        return len(self.select(category=category, event=event))
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class NullTracer(Tracer):
+    """A tracer that drops everything (used for benchmark runs)."""
+
+    def __init__(self, env: Environment):
+        super().__init__(env, enabled=False)
+
+    def log(self, category: str, event: str, **fields: Any) -> None:  # noqa: D102
+        return

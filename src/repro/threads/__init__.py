@@ -1,0 +1,21 @@
+"""MPI+threads substrate: simulated thread teams, compute models, binding."""
+
+from .binding import BindingPolicy, close_binding, spread_binding
+from .compute import (
+    ComputeModel,
+    FixedDelayModel,
+    GaussianComputeModel,
+    NoDelayModel,
+)
+from .team import ThreadTeam
+
+__all__ = [
+    "ThreadTeam",
+    "ComputeModel",
+    "NoDelayModel",
+    "FixedDelayModel",
+    "GaussianComputeModel",
+    "BindingPolicy",
+    "close_binding",
+    "spread_binding",
+]

@@ -1,0 +1,57 @@
+"""Thread→core binding (the paper's ``OMP_PROC_BIND=CLOSE`` setup).
+
+The paper binds OpenMP threads closely to cores and gives each MPI rank
+as many cores as threads (``-bind-to cores:${OMP_NUM_THREADS}``).  The
+binding map is bookkeeping in the simulator — threads never oversubscribe
+cores in any benchmarked configuration — but it is modelled so that
+configurations *can* oversubscribe and so experiments can report
+placements.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = ["BindingPolicy", "close_binding", "spread_binding"]
+
+
+class BindingPolicy:
+    """A thread→core map for one rank."""
+
+    def __init__(self, cores: List[int], name: str = "custom"):
+        if not cores:
+            raise ValueError("need at least one core")
+        self.cores = list(cores)
+        self.name = name
+
+    def core_of(self, thread_id: int) -> int:
+        """Core hosting ``thread_id`` (wraps when oversubscribed)."""
+        return self.cores[thread_id % len(self.cores)]
+
+    @property
+    def oversubscribed(self) -> bool:
+        """True when more threads than cores would share cores."""
+        return len(set(self.cores)) < len(self.cores)
+
+    def placement(self, n_threads: int) -> List[Tuple[int, int]]:
+        """(thread, core) pairs for a team of ``n_threads``."""
+        return [(t, self.core_of(t)) for t in range(n_threads)]
+
+
+def close_binding(n_threads: int, cores_per_node: int = 64,
+                  first_core: int = 0) -> BindingPolicy:
+    """``OMP_PROC_BIND=CLOSE`` with ``OMP_PLACES=cores``: consecutive
+    cores starting at ``first_core``."""
+    if n_threads < 1:
+        raise ValueError("n_threads must be >= 1")
+    cores = [first_core + (i % cores_per_node) for i in range(n_threads)]
+    return BindingPolicy(cores, name="close")
+
+
+def spread_binding(n_threads: int, cores_per_node: int = 64) -> BindingPolicy:
+    """``OMP_PROC_BIND=SPREAD``: evenly spaced cores."""
+    if n_threads < 1:
+        raise ValueError("n_threads must be >= 1")
+    stride = max(1, cores_per_node // n_threads)
+    cores = [(i * stride) % cores_per_node for i in range(n_threads)]
+    return BindingPolicy(cores, name="spread")

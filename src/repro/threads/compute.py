@@ -1,0 +1,129 @@
+"""Compute-delay models (Appendix A of the paper).
+
+The pipelined pattern's gain is driven by the *delay* between the first
+and last partition becoming ready.  The paper reduces all computation to
+a per-partition compute time
+
+    T_cmpt = µ · S_part · N(1, (ε + δ)/2)          (Eq. 7)
+
+with µ the average compute rate (s/B, Eq. 6), ε the system noise, and δ
+the algorithmic imbalance.  Three models are provided:
+
+* :class:`NoDelayModel` — γ = 0; used for Fig. 4 and the small-message
+  studies (Figs. 5–7) where "all the partitions are ready immediately".
+* :class:`FixedDelayModel` — the controlled §4.3 setup: the **last**
+  partition is delayed by ``γ · S_part`` while all others are ready at
+  once; used for Fig. 8.
+* :class:`GaussianComputeModel` — the full Appendix-A model with seeded
+  noise streams, used by the examples and the model-validation tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "ComputeModel",
+    "NoDelayModel",
+    "FixedDelayModel",
+    "GaussianComputeModel",
+]
+
+
+class ComputeModel:
+    """Interface: per-partition compute times in seconds."""
+
+    def compute_time(
+        self, thread_id: int, partition: int, part_bytes: int, n_threads: int,
+        theta: int,
+    ) -> float:
+        """Compute time for one partition on one thread.
+
+        Parameters mirror the benchmark: ``partition`` is the global
+        partition index, ``theta`` the partitions per thread.
+        """
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Reset per-iteration state (called between iterations)."""
+
+
+class NoDelayModel(ComputeModel):
+    """All partitions ready immediately (γ = 0)."""
+
+    def compute_time(self, thread_id, partition, part_bytes, n_threads, theta):
+        return 0.0
+
+
+class FixedDelayModel(ComputeModel):
+    """The §4.3 controlled-delay setup for the early-bird study.
+
+    "The last partition is delayed compared with the other N_part − 1
+    partitions, where the delay time is given by γ·S_part."
+
+    Parameters
+    ----------
+    gamma:
+        Delay rate in s/B (the paper quotes µs/MB; 100 µs/MB = 1e-10 s/B).
+    """
+
+    def __init__(self, gamma: float):
+        if gamma < 0:
+            raise ValueError("gamma must be >= 0")
+        self.gamma = gamma
+
+    @classmethod
+    def from_us_per_mb(cls, gamma_us_per_mb: float) -> "FixedDelayModel":
+        """Build from the paper's µs/MB unit."""
+        return cls(gamma_us_per_mb * 1e-6 / 1e6)
+
+    def compute_time(self, thread_id, partition, part_bytes, n_threads, theta):
+        n_part = n_threads * theta
+        if partition == n_part - 1:
+            return self.gamma * part_bytes
+        return 0.0
+
+
+class GaussianComputeModel(ComputeModel):
+    """The Appendix-A noise model: ``T = µ · S · N(1, σ)`` with
+    ``σ = (ε + δ)/2``, drawn from a named deterministic stream.
+
+    Parameters
+    ----------
+    mu:
+        Average compute rate in s/B (Eq. 6).
+    epsilon:
+        System noise level ε.
+    delta:
+        Algorithmic imbalance δ.
+    rng:
+        A ``numpy.random.Generator`` (use
+        :meth:`RngRegistry.stream` for reproducibility).
+    """
+
+    def __init__(
+        self,
+        mu: float,
+        epsilon: float = 0.0,
+        delta: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if mu < 0:
+            raise ValueError("mu must be >= 0")
+        if epsilon < 0 or delta < 0:
+            raise ValueError("noise terms must be >= 0")
+        self.mu = mu
+        self.epsilon = epsilon
+        self.delta = delta
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    @property
+    def sigma(self) -> float:
+        """Relative noise std-dev σ = (ε + δ)/2 (Eq. 7)."""
+        return (self.epsilon + self.delta) / 2.0
+
+    def compute_time(self, thread_id, partition, part_bytes, n_threads, theta):
+        factor = self.rng.normal(1.0, self.sigma) if self.sigma > 0 else 1.0
+        return max(0.0, self.mu * part_bytes * factor)

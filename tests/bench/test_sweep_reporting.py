@@ -1,0 +1,94 @@
+"""Tests for sweeps and report formatting."""
+
+import pytest
+
+from repro.bench import (
+    BenchSpec,
+    SweepResult,
+    format_bandwidth_table,
+    format_ratio_line,
+    format_us_table,
+    size_grid,
+    sweep_approaches,
+    sweep_sizes,
+)
+
+
+class TestSizeGrid:
+    def test_powers_of_two(self):
+        assert size_grid(16, 128) == [16, 32, 64, 128]
+
+    def test_multiple_of_respected(self):
+        grid = size_grid(100, 1000, multiple_of=24)
+        assert all(s % 24 == 0 for s in grid)
+        assert all(100 <= s <= 1000 for s in grid)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            size_grid(0, 100)
+        with pytest.raises(ValueError):
+            size_grid(100, 10)
+        with pytest.raises(ValueError):
+            size_grid(100, 1000, multiple_of=0)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            size_grid(3, 3, multiple_of=1024)
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    base = BenchSpec(approach="pt2pt_single", total_bytes=64, iterations=2)
+    return sweep_approaches(
+        base, ["pt2pt_single", "pt2pt_part"], [64, 1024, 16384]
+    )
+
+
+class TestSweep:
+    def test_all_points_present(self, small_sweep):
+        assert len(small_sweep) == 6
+        assert small_sweep.approaches() == ["pt2pt_part", "pt2pt_single"]
+        assert small_sweep.sizes("pt2pt_single") == [64, 1024, 16384]
+
+    def test_series_us_monotone_in_size(self, small_sweep):
+        series = small_sweep.series_us("pt2pt_single")
+        times = [t for _, t, _ in series]
+        assert times == sorted(times)
+
+    def test_bandwidth_series(self, small_sweep):
+        series = small_sweep.series_bandwidth("pt2pt_single")
+        assert series[-1][1] > series[0][1]  # large msgs → more GB/s
+
+    def test_ratio(self, small_sweep):
+        r = small_sweep.ratio("pt2pt_part", "pt2pt_single", 64)
+        assert r > 0
+
+    def test_sweep_sizes_accumulates(self):
+        base = BenchSpec(approach="pt2pt_single", total_bytes=64, iterations=1)
+        out = SweepResult()
+        sweep_sizes(base, [64], out=out)
+        sweep_sizes(base, [128], out=out)
+        assert out.sizes("pt2pt_single") == [64, 128]
+
+
+class TestReporting:
+    def test_us_table_contains_data(self, small_sweep):
+        table = format_us_table(small_sweep, title="demo")
+        assert "demo" in table
+        assert "pt2pt_single" in table and "pt2pt_part" in table
+        assert "1KiB" in table and "16KiB" in table and "64B" in table
+
+    def test_bandwidth_table(self, small_sweep):
+        table = format_bandwidth_table(small_sweep)
+        assert "pt2pt_single" in table
+
+    def test_ratio_line(self, small_sweep):
+        line = format_ratio_line(
+            small_sweep, "pt2pt_part", "pt2pt_single", 64, note="smallest"
+        )
+        assert line.startswith("pt2pt_part/pt2pt_single @ 64B: x")
+        assert "smallest" in line
+
+    def test_table_column_subset(self, small_sweep):
+        table = format_us_table(small_sweep, approaches=["pt2pt_single"])
+        assert "pt2pt_part" not in table

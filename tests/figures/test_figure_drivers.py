@@ -1,0 +1,106 @@
+"""Quick-mode runs of every figure driver: data shape + headline checks.
+
+These use tiny iteration counts and sparse grids; the full-resolution
+regenerations live in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.figures import (
+    fig4_improvement,
+    fig5_congestion,
+    fig6_vcis,
+    fig7_aggregation,
+    fig8_earlybird,
+)
+
+ITERS = 3
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return fig4_improvement.run(iterations=ITERS, quick=True)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return fig5_congestion.run(iterations=ITERS, quick=True)
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return fig6_vcis.run(iterations=ITERS, quick=True)
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return fig7_aggregation.run(iterations=ITERS, quick=True)
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return fig8_earlybird.run(iterations=ITERS, quick=True)
+
+
+class TestFig4:
+    def test_all_approaches_swept(self, fig4):
+        assert set(fig4.sweep.approaches()) == set(fig4_improvement.APPROACHES)
+
+    def test_headline_improvement(self, fig4):
+        assert fig4.headline["old_over_new_large"] > 2.0
+        assert fig4.headline["part_over_single_small"] == pytest.approx(
+            1.0, rel=0.3
+        )
+
+    def test_report_renders(self, fig4):
+        text = fig4_improvement.report(fig4)
+        assert "Figure 4" in text and "paper" in text
+
+
+class TestFig5:
+    def test_headline_penalty(self, fig5):
+        assert 15 < fig5.headline["part_penalty_small"] < 45
+        assert fig5.headline["rma_many_over_single_win"] > 1.0
+
+    def test_report_renders(self, fig5):
+        assert "29.76" in fig5_congestion.report(fig5)
+
+
+class TestFig6:
+    def test_headline_residual(self, fig6):
+        assert 2.0 < fig6.headline["part_penalty_small"] < 7.0
+        assert fig6.headline["many_penalty_small"] == pytest.approx(1.0, rel=0.3)
+        assert fig6.headline["rma_many_over_single_win"] < 1.0
+
+    def test_report_renders(self, fig6):
+        assert "4.04" in fig6_vcis.report(fig6)
+
+
+class TestFig7:
+    def test_aggregation_headline(self, fig7):
+        assert fig7.headline["noaggr_penalty"] > 8.0
+        assert 2.0 < fig7.headline["aggr512_penalty"] < 5.0
+        assert fig7.headline["noaggr_penalty"] == pytest.approx(
+            fig7.headline["many_penalty"], rel=0.3
+        )
+
+    def test_report_renders(self, fig7):
+        text = fig7_aggregation.report(fig7)
+        assert "aggr=512" in text and "3.13" in text
+
+
+class TestFig8:
+    def test_gain_headline(self, fig8):
+        assert 2.3 < fig8.headline["gain_part"] < 2.67
+        assert fig8.headline["gain_theory"] == pytest.approx(8 / 3, rel=1e-6)
+
+    def test_gain_approach_agnostic(self, fig8):
+        gains = [
+            fig8.headline["gain_part"],
+            fig8.headline["gain_many"],
+            fig8.headline["gain_rma"],
+        ]
+        assert max(gains) / min(gains) < 1.1
+
+    def test_report_renders(self, fig8):
+        assert "2.5417" in fig8_earlybird.report(fig8)

@@ -1,0 +1,93 @@
+"""End-to-end payload integrity across every approach and configuration."""
+
+import pytest
+
+from repro.bench import APPROACHES, BenchSpec, run_benchmark
+from repro.mpi import Cvars, VCI_METHOD_TAG_RR, VCI_METHOD_THREAD
+
+
+@pytest.mark.parametrize("name", sorted(APPROACHES))
+@pytest.mark.parametrize("nbytes", [256, 16384, 1 << 18])
+def test_payload_integrity_sizes(name, nbytes):
+    result = run_benchmark(
+        BenchSpec(
+            approach=name,
+            total_bytes=nbytes,
+            n_threads=4,
+            theta=1,
+            iterations=2,
+            verify=True,
+        )
+    )
+    assert result.verified, f"{name} corrupted a {nbytes}-byte transfer"
+
+
+@pytest.mark.parametrize("name", sorted(APPROACHES))
+def test_payload_integrity_theta(name):
+    result = run_benchmark(
+        BenchSpec(
+            approach=name,
+            total_bytes=8192,
+            n_threads=2,
+            theta=4,
+            iterations=2,
+            verify=True,
+        )
+    )
+    assert result.verified
+
+
+@pytest.mark.parametrize(
+    "cvars",
+    [
+        Cvars(num_vcis=4, vci_method=VCI_METHOD_TAG_RR),
+        Cvars(num_vcis=4, vci_method=VCI_METHOD_THREAD),
+        Cvars(part_aggr_size=512),
+        Cvars(part_aggr_size=1 << 20),
+        Cvars(num_vcis=8, vci_method=VCI_METHOD_TAG_RR, part_aggr_size=1024),
+    ],
+    ids=["tag_rr", "thread", "aggr_small", "aggr_huge", "vci+aggr"],
+)
+def test_partitioned_integrity_under_cvars(cvars):
+    result = run_benchmark(
+        BenchSpec(
+            approach="pt2pt_part",
+            total_bytes=16384,
+            n_threads=4,
+            theta=4,
+            iterations=3,
+            cvars=cvars,
+            verify=True,
+        )
+    )
+    assert result.verified
+
+
+def test_integrity_with_delay_model():
+    """The early-bird pipeline must not reorder or corrupt data."""
+    for name in ("pt2pt_part", "pt2pt_many", "rma_single_passive"):
+        result = run_benchmark(
+            BenchSpec(
+                approach=name,
+                total_bytes=1 << 18,
+                n_threads=4,
+                iterations=2,
+                gamma_us_per_mb=100.0,
+                verify=True,
+            )
+        )
+        assert result.verified, name
+
+
+def test_integrity_many_threads():
+    for name in ("pt2pt_part", "pt2pt_many"):
+        result = run_benchmark(
+            BenchSpec(
+                approach=name,
+                total_bytes=1 << 15,
+                n_threads=32,
+                iterations=2,
+                verify=True,
+            )
+        )
+        assert result.verified, name

@@ -1,0 +1,76 @@
+"""Smoke tests: every example script must run green (they assert
+their own invariants internally)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, timeout=240):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "data intact:        True" in out
+
+
+def test_fft_pipeline():
+    out = run_example("fft_pipeline.py")
+    assert "1.0228" in out  # paper's theta=1 eta
+    assert "eta measured" in out
+
+
+def test_streaming_consumer():
+    out = run_example("streaming_consumer.py")
+    assert "receive-side overlap gain" in out
+
+
+def test_aggregation_tuning():
+    out = run_example("aggregation_tuning.py")
+    assert "best" in out and "no aggr" in out
+
+
+@pytest.mark.slow
+def test_halo_exchange():
+    out = run_example("halo_exchange.py")
+    assert "Eq. (4) predicted comm gain" in out
+
+
+@pytest.mark.slow
+def test_vci_scaling():
+    out = run_example("vci_scaling.py")
+    assert "pt2pt_part" in out and "pt2pt_many" in out
+
+
+def test_cli_tables():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "--only", "tables"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert proc.returncode == 0
+    assert "MPI_Pready" in proc.stdout
+
+
+def test_cli_single_figure():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "--only", "fig8", "--iters", "3"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "early-bird" in proc.stdout

@@ -1,0 +1,72 @@
+"""Model-validation tests: the simulator must track the analytic model.
+
+§4.3 of the paper validates Eq. (4) against measurement (2.54 vs 2.67);
+these tests do the same across a grid of configurations: the measured
+gain must sit within a bracket *below* the theoretical gain (the model
+omits latency and contention, so theory is an upper bound at large
+sizes).
+"""
+
+import pytest
+
+from repro.bench import BenchSpec, run_benchmark
+from repro.model import eta_large, gamma_from_us_per_mb, t_bulk
+from repro.net import MELUXINA
+
+
+def measured_gain(n_threads, theta, gamma_us, part_mib=4):
+    common = dict(
+        total_bytes=n_threads * theta * part_mib * (1 << 20),
+        n_threads=n_threads,
+        theta=theta,
+        iterations=4,
+        gamma_us_per_mb=gamma_us,
+    )
+    bulk = run_benchmark(BenchSpec(approach="pt2pt_single", **common)).mean
+    pipe = run_benchmark(BenchSpec(approach="pt2pt_part", **common)).mean
+    return bulk / pipe
+
+
+@pytest.mark.parametrize(
+    "n_threads,theta,gamma_us",
+    [
+        (2, 1, 50.0),
+        (4, 1, 100.0),
+        (8, 1, 100.0),
+        (4, 2, 150.0),
+        (8, 1, 300.0),
+    ],
+)
+def test_measured_gain_brackets_theory(n_threads, theta, gamma_us):
+    theory = eta_large(
+        n_threads, theta, MELUXINA.bandwidth, gamma_from_us_per_mb(gamma_us)
+    )
+    measured = measured_gain(n_threads, theta, gamma_us)
+    assert measured <= theory * 1.02, "measured gain exceeds the model bound"
+    assert measured >= theory * 0.80, "measured gain far below the model"
+
+
+def test_gain_saturates_at_partition_count():
+    """With overwhelming delay the gain caps at N·θ (the max(...,1)
+    clamp of Eq. 4): only one transfer remains exposed."""
+    measured = measured_gain(4, 1, 5000.0)
+    assert measured == pytest.approx(4.0, rel=0.15)
+
+
+def test_bulk_time_tracks_eq2():
+    """The measured bulk time approaches N_part·S_part/β at large sizes."""
+    n, part = 4, 4 << 20
+    spec = BenchSpec(
+        approach="pt2pt_single",
+        total_bytes=n * part,
+        n_threads=n,
+        iterations=3,
+    )
+    measured = run_benchmark(spec).mean
+    model = t_bulk(n, 1, part, MELUXINA.bandwidth)
+    assert measured == pytest.approx(model, rel=0.05)
+
+
+def test_gain_grows_with_gamma_in_simulation():
+    gains = [measured_gain(4, 1, g) for g in (25.0, 100.0, 400.0)]
+    assert gains == sorted(gains)

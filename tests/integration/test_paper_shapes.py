@@ -1,0 +1,221 @@
+"""Integration tests: the paper's headline findings must hold.
+
+These pin the *shape* of every figure — who wins, by roughly what
+factor, where crossovers fall — with generous tolerance bands so the
+suite stays robust to cost-model retuning while still catching any
+regression that would invalidate the reproduction.
+"""
+
+import pytest
+
+from repro.bench import BenchSpec, run_benchmark
+from repro.mpi import Cvars, VCI_METHOD_TAG_RR
+
+ITERS = 5
+
+
+def mean_us(name, size, **kw):
+    kw.setdefault("iterations", ITERS)
+    return run_benchmark(
+        BenchSpec(approach=name, total_bytes=size, **kw)
+    ).mean_us
+
+
+class TestFig4Shapes:
+    """N = 1, θ = 1, no delay."""
+
+    def test_improved_part_matches_single(self):
+        for size in (64, 4096, 1 << 20):
+            part = mean_us("pt2pt_part", size)
+            single = mean_us("pt2pt_single", size)
+            assert part == pytest.approx(single, rel=0.25)
+
+    def test_old_am_slower_at_every_size(self):
+        for size in (16, 1024, 8192, 1 << 18, 1 << 24):
+            assert mean_us("pt2pt_part_old", size) > mean_us("pt2pt_part", size)
+
+    def test_old_am_factor_at_large_sizes(self):
+        """Paper annotation: ÷3.18."""
+        ratio = mean_us("pt2pt_part_old", 1 << 24) / mean_us("pt2pt_part", 1 << 24)
+        assert 2.3 < ratio < 4.2
+
+    def test_protocol_jump_short_to_bcopy(self):
+        """Fig. 4: a time step between 1024 and 2048 B."""
+        t1k = mean_us("pt2pt_single", 1024)
+        t2k = mean_us("pt2pt_single", 2048)
+        assert t2k / t1k > 1.10
+
+    def test_protocol_jump_bcopy_to_rendezvous(self):
+        """Fig. 4: a time step between 8192 and 16384 B."""
+        t8k = mean_us("pt2pt_single", 8192)
+        t16k = mean_us("pt2pt_single", 16384)
+        assert t16k / t8k > 1.3
+
+    def test_rma_overhead_at_small_sizes(self):
+        for name in ("rma_single_passive", "rma_single_active"):
+            ratio = mean_us(name, 64) / mean_us("pt2pt_single", 64)
+            assert ratio > 1.5, name
+
+    def test_rma_converges_at_large_sizes(self):
+        ratio = mean_us("rma_single_passive", 1 << 24) / mean_us(
+            "pt2pt_single", 1 << 24
+        )
+        assert ratio == pytest.approx(1.0, rel=0.05)
+
+    def test_large_messages_hit_wire_bandwidth(self):
+        """At 16 MiB the time approaches S/β = 671 µs."""
+        t = mean_us("pt2pt_single", 1 << 24)
+        assert 650 < t < 750
+
+
+class TestFig5Shapes:
+    """32 threads, θ = 1, one VCI."""
+
+    KW = dict(n_threads=32)
+
+    def test_single_wins_at_small_sizes(self):
+        single = mean_us("pt2pt_single", 1024, **self.KW)
+        for name in ("pt2pt_part", "pt2pt_many", "rma_single_passive"):
+            assert mean_us(name, 1024, **self.KW) > single
+
+    def test_congestion_penalty_magnitude(self):
+        """Paper: ×29.76; accept the 15-45 band."""
+        ratio = mean_us("pt2pt_part", 1024, **self.KW) / mean_us(
+            "pt2pt_single", 1024, **self.KW
+        )
+        assert 15 < ratio < 45
+
+    def test_part_and_many_comparable(self):
+        """Paper: 'little difference between the achieved overheads'."""
+        part = mean_us("pt2pt_part", 1024, **self.KW)
+        many = mean_us("pt2pt_many", 1024, **self.KW)
+        assert 0.4 < part / many < 2.5
+
+    def test_rma_many_above_rma_single(self):
+        """The window-scan overhead shifts many-passive upward."""
+        assert mean_us("rma_many_passive", 1024, **self.KW) > mean_us(
+            "rma_single_passive", 1024, **self.KW
+        )
+
+    def test_penalty_vanishes_at_large_sizes(self):
+        ratio = mean_us("pt2pt_part", 1 << 24, **self.KW) / mean_us(
+            "pt2pt_single", 1 << 24, **self.KW
+        )
+        assert ratio < 1.2
+
+
+class TestFig6Shapes:
+    """32 threads, 32 VCIs, tag-encoded round robin."""
+
+    KW = dict(
+        n_threads=32,
+        cvars=Cvars(num_vcis=32, vci_method=VCI_METHOD_TAG_RR),
+    )
+    KW1 = dict(n_threads=32)  # the 1-VCI reference
+
+    def test_many_matches_single(self):
+        ratio = mean_us("pt2pt_many", 1024, **self.KW) / mean_us(
+            "pt2pt_single", 1024, **self.KW
+        )
+        assert ratio == pytest.approx(1.0, rel=0.25)
+
+    def test_part_residual_penalty(self):
+        """Paper: ×4.04; accept 2-7."""
+        ratio = mean_us("pt2pt_part", 1024, **self.KW) / mean_us(
+            "pt2pt_single", 1024, **self.KW
+        )
+        assert 2.0 < ratio < 7.0
+
+    def test_vcis_cut_congestion_by_large_factor(self):
+        """Paper: penalty drops from ~30 to ~4 (factor ~7-10)."""
+        with_vcis = mean_us("pt2pt_part", 1024, **self.KW)
+        without = mean_us("pt2pt_part", 1024, **self.KW1)
+        assert without / with_vcis > 4.0
+
+    def test_rma_ordering_flips(self):
+        """Paper: many-passive becomes faster than single-passive."""
+        assert mean_us("rma_many_passive", 1024, **self.KW) < mean_us(
+            "rma_single_passive", 1024, **self.KW
+        )
+
+
+class TestFig7Shapes:
+    """4 threads, θ = 32 (128 partitions)."""
+
+    KW = dict(n_threads=4, theta=32)
+
+    def test_no_aggregation_matches_many(self):
+        part = mean_us("pt2pt_part", 2048, **self.KW)
+        many = mean_us("pt2pt_many", 2048, **self.KW)
+        assert part == pytest.approx(many, rel=0.3)
+
+    def test_aggregation_floor(self):
+        """Paper: ×3.13 over single with aggregation; accept 2-5."""
+        ratio = mean_us(
+            "pt2pt_part", 2048, cvars=Cvars(part_aggr_size=512), **self.KW
+        ) / mean_us("pt2pt_single", 2048, **self.KW)
+        assert 2.0 < ratio < 5.0
+
+    def test_aggregation_beats_no_aggregation(self):
+        aggr = mean_us(
+            "pt2pt_part", 2048, cvars=Cvars(part_aggr_size=4096), **self.KW
+        )
+        noaggr = mean_us("pt2pt_part", 2048, **self.KW)
+        assert noaggr / aggr > 2.5
+
+    def test_aggregation_benefit_ends_at_npart_times_bound(self):
+        """Above N_part x aggr the curves rejoin (message count saturates)."""
+        big = 1 << 20  # 128 x 512 B = 64 KiB << 1 MiB
+        aggr = mean_us(
+            "pt2pt_part", big, cvars=Cvars(part_aggr_size=512), **self.KW
+        )
+        noaggr = mean_us("pt2pt_part", big, **self.KW)
+        assert aggr == pytest.approx(noaggr, rel=0.05)
+
+    def test_larger_bound_helps_longer(self):
+        size = 1 << 17  # 128 KiB: beyond 128x512, within 128x4096
+        small_bound = mean_us(
+            "pt2pt_part", size, cvars=Cvars(part_aggr_size=512), **self.KW
+        )
+        large_bound = mean_us(
+            "pt2pt_part", size, cvars=Cvars(part_aggr_size=4096), **self.KW
+        )
+        assert large_bound < small_bound
+
+
+class TestFig8Shapes:
+    """4 threads, θ = 1, γ = 100 µs/MB on the last partition."""
+
+    KW = dict(n_threads=4, gamma_us_per_mb=100.0)
+
+    def test_gain_at_large_sizes(self):
+        """Paper: ×2.54 measured, 2.67 theoretical."""
+        gain = mean_us("pt2pt_single", 1 << 24, **self.KW) / mean_us(
+            "pt2pt_part", 1 << 24, **self.KW
+        )
+        assert 2.3 < gain < 2.67
+
+    def test_gain_is_approach_agnostic(self):
+        single = mean_us("pt2pt_single", 1 << 24, **self.KW)
+        gains = [
+            single / mean_us(name, 1 << 24, **self.KW)
+            for name in ("pt2pt_part", "pt2pt_many", "rma_single_passive")
+        ]
+        assert max(gains) / min(gains) < 1.1
+
+    def test_pipelining_loses_at_small_sizes(self):
+        gain = mean_us("pt2pt_single", 512, **self.KW) / mean_us(
+            "pt2pt_part", 512, **self.KW
+        )
+        assert gain < 1.0
+
+    def test_crossover_in_expected_decade(self):
+        """Paper: ~100 kB; assert the sign flips between 4 kB and 1 MB."""
+        small_gain = mean_us("pt2pt_single", 4096, **self.KW) / mean_us(
+            "pt2pt_part", 4096, **self.KW
+        )
+        large_gain = mean_us("pt2pt_single", 1 << 20, **self.KW) / mean_us(
+            "pt2pt_part", 1 << 20, **self.KW
+        )
+        assert small_gain < 1.1
+        assert large_gain > 1.5

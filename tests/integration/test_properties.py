@@ -1,0 +1,233 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.stats import summarize
+from repro.model import eta_large, gamma_theta, t_bulk, t_pipelined
+from repro.mpi import ANY_SOURCE, ANY_TAG, MatchKey, MatchingEngine
+from repro.mpi.partitioned import negotiate_message_count
+from repro.mpi.matching import PostedRecv, UnexpectedMsg
+from repro.net import MELUXINA
+from repro.sim import Environment
+
+
+# ---------------------------------------------------------------------------
+# message-count negotiation (§3.2.1)
+# ---------------------------------------------------------------------------
+@given(
+    n_send=st.integers(1, 512),
+    n_recv=st.integers(1, 512),
+    scale=st.integers(1, 1 << 14),
+    aggr=st.integers(0, 1 << 20),
+)
+def test_negotiation_invariants(n_send, n_recv, scale, aggr):
+    total = n_send * n_recv * scale  # divisible by both counts
+    n_msgs = negotiate_message_count(n_send, n_recv, total, aggr)
+    g = math.gcd(n_send, n_recv)
+    # 1. at least one message, never more than the gcd
+    assert 1 <= n_msgs <= g
+    # 2. the count divides the gcd: messages stay uniform and every
+    #    partition of either side maps to exactly one message
+    assert g % n_msgs == 0
+    assert n_send % n_msgs == 0 and n_recv % n_msgs == 0
+    # 3. aggregation never yields messages above the bound unless a
+    #    single gcd-message already exceeds it
+    if aggr > 0 and total // g <= aggr:
+        assert total // n_msgs <= aggr
+
+
+@given(
+    n_send=st.integers(1, 256),
+    n_recv=st.integers(1, 256),
+    scale=st.integers(1, 1024),
+)
+def test_negotiation_no_aggregation_is_gcd(n_send, n_recv, scale):
+    total = n_send * n_recv * scale
+    assert negotiate_message_count(n_send, n_recv, total, 0) == math.gcd(
+        n_send, n_recv
+    )
+
+
+@given(
+    n_parts=st.integers(1, 256),
+    scale=st.integers(1, 1024),
+    aggr_a=st.integers(1, 1 << 16),
+    aggr_b=st.integers(1, 1 << 16),
+)
+def test_negotiation_monotone_in_bound(n_parts, scale, aggr_a, aggr_b):
+    """A larger aggregation bound never increases the message count."""
+    total = n_parts * scale
+    lo, hi = sorted((aggr_a, aggr_b))
+    assert negotiate_message_count(
+        n_parts, n_parts, total, hi
+    ) <= negotiate_message_count(n_parts, n_parts, total, lo)
+
+
+# ---------------------------------------------------------------------------
+# analytic model (§2.2)
+# ---------------------------------------------------------------------------
+@given(
+    n=st.integers(1, 64),
+    theta=st.integers(1, 64),
+    gamma_us=st.floats(0, 1e5, allow_nan=False),
+)
+def test_eta_bounds(n, theta, gamma_us):
+    """1 <= η <= N·θ for any delay rate."""
+    eta = eta_large(n, theta, 25e9, gamma_us * 1e-12)
+    assert 1.0 - 1e-12 <= eta <= n * theta + 1e-9
+
+
+@given(
+    n=st.integers(1, 32),
+    theta=st.integers(1, 32),
+    part_kb=st.integers(1, 1 << 14),
+    gamma_us=st.floats(0, 1e4, allow_nan=False),
+)
+def test_pipelined_never_slower_than_bulk(n, theta, part_kb, gamma_us):
+    beta = 25e9
+    part = part_kb * 1024.0
+    tb = t_bulk(n, theta, part, beta)
+    tp = t_pipelined(n, theta, part, beta, gamma_us * 1e-12)
+    assert tp <= tb + 1e-15
+    # and never faster than a single partition transfer
+    assert tp >= part / beta - 1e-15
+
+
+@given(
+    mu=st.floats(0, 1e-6, allow_nan=False),
+    theta=st.integers(1, 128),
+    eps=st.floats(0, 1.0, allow_nan=False),
+    delta=st.floats(0, 1.0, allow_nan=False),
+)
+def test_gamma_theta_nonnegative_and_monotone(mu, theta, eps, delta):
+    g1 = gamma_theta(mu, theta, eps, delta)
+    g2 = gamma_theta(mu, theta + 1, eps, delta)
+    assert g1 >= 0
+    assert g2 >= g1
+
+
+# ---------------------------------------------------------------------------
+# protocol ladder
+# ---------------------------------------------------------------------------
+@given(nbytes=st.integers(0, 1 << 28))
+def test_wire_time_monotone(nbytes):
+    assert MELUXINA.wire_time(nbytes + 1) >= MELUXINA.wire_time(nbytes)
+
+
+@given(a=st.integers(1, 1 << 26), b=st.integers(1, 1 << 26))
+def test_protocol_ladder_ordered(a, b):
+    """A larger payload never selects an 'earlier' protocol."""
+    order = {"short": 0, "bcopy": 1, "zcopy": 2}
+    lo, hi = sorted((a, b))
+    assert (
+        order[MELUXINA.protocol_for(lo).value]
+        <= order[MELUXINA.protocol_for(hi).value]
+    )
+
+
+# ---------------------------------------------------------------------------
+# matching engine
+# ---------------------------------------------------------------------------
+_key = st.tuples(
+    st.integers(0, 3),  # ctx
+    st.integers(0, 3),  # src
+    st.integers(0, 7),  # tag
+)
+
+
+@given(arrivals=st.lists(_key, max_size=40), recv=_key)
+@settings(max_examples=200)
+def test_matching_takes_earliest_matching_unexpected(arrivals, recv):
+    eng = MatchingEngine()
+    for i, (ctx, src, tag) in enumerate(arrivals):
+        eng.add_unexpected(
+            UnexpectedMsg(key=MatchKey(ctx, src, tag), packet=i)
+        )
+    ctx, src, tag = recv
+    got = eng.post_recv(PostedRecv(key=MatchKey(ctx, src, tag), request="r"))
+    matching = [i for i, k in enumerate(arrivals) if k == recv]
+    if matching:
+        assert got is not None and got.packet == matching[0]
+    else:
+        assert got is None
+
+
+@given(recvs=st.lists(_key, max_size=40), arrival=_key)
+@settings(max_examples=200)
+def test_matching_takes_earliest_matching_posted(recvs, arrival):
+    eng = MatchingEngine()
+    for i, (ctx, src, tag) in enumerate(recvs):
+        eng.post_recv(PostedRecv(key=MatchKey(ctx, src, tag), request=i))
+    ctx, src, tag = arrival
+    got = eng.match_arrival(MatchKey(ctx, src, tag))
+    matching = [i for i, k in enumerate(recvs) if k == arrival]
+    if matching:
+        assert got is not None and got.request == matching[0]
+    else:
+        assert got is None
+
+
+@given(
+    n_msgs=st.integers(1, 30),
+    wildcard_src=st.booleans(),
+    wildcard_tag=st.booleans(),
+)
+def test_wildcards_preserve_fifo(n_msgs, wildcard_src, wildcard_tag):
+    eng = MatchingEngine()
+    for i in range(n_msgs):
+        eng.add_unexpected(
+            UnexpectedMsg(key=MatchKey(0, i % 3, i % 5), packet=i)
+        )
+    src = ANY_SOURCE if wildcard_src else 0
+    tag = ANY_TAG if wildcard_tag else 0
+    got = eng.post_recv(PostedRecv(key=MatchKey(0, src, tag), request="r"))
+    expect = [
+        i
+        for i in range(n_msgs)
+        if (wildcard_src or i % 3 == 0) and (wildcard_tag or i % 5 == 0)
+    ]
+    if expect:
+        assert got.packet == expect[0]
+    else:
+        assert got is None
+
+
+# ---------------------------------------------------------------------------
+# statistics
+# ---------------------------------------------------------------------------
+@given(
+    samples=st.lists(
+        st.floats(1e-9, 1e3, allow_nan=False, allow_infinity=False),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_summary_bounds(samples):
+    s = summarize(samples)
+    # Tolerate float summation rounding at the boundaries.
+    assert s.minimum * (1 - 1e-12) <= s.mean <= s.maximum * (1 + 1e-12)
+    assert s.ci_half >= 0
+    assert s.n == len(samples)
+
+
+# ---------------------------------------------------------------------------
+# simulation engine
+# ---------------------------------------------------------------------------
+@given(delays=st.lists(st.floats(0, 1e3, allow_nan=False), max_size=30))
+def test_clock_monotone_through_arbitrary_timeouts(delays):
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        for d in delays:
+            yield env.timeout(d)
+            seen.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == sorted(seen)
+    if delays:
+        assert seen[-1] <= sum(delays) * (1 + 1e-9) + 1e-12

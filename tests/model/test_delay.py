@@ -1,0 +1,73 @@
+"""Tests for Eqs. (6)-(9): the delay-rate model."""
+
+import math
+
+import pytest
+
+from repro.model import delay_time, gamma_theta, mu_rate, sigma_noise
+
+
+class TestMu:
+    def test_eq6(self):
+        # AI=5, CI=1, F=3.5 GHz, 8 flops/cycle.
+        mu = mu_rate(5.0, 1.0, 3.5e9)
+        assert mu == pytest.approx(5.0 / (8 * 3.5e9))
+
+    def test_higher_ai_means_slower(self):
+        assert mu_rate(10, 1, 1e9) > mu_rate(5, 1, 1e9)
+
+    def test_higher_ci_means_faster(self):
+        assert mu_rate(5, 2, 1e9) < mu_rate(5, 1, 1e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mu_rate(0, 1, 1e9)
+        with pytest.raises(ValueError):
+            mu_rate(1, 1, 0)
+
+
+class TestSigma:
+    def test_eq7(self):
+        assert sigma_noise(0.04, 0.5) == pytest.approx(0.27)
+        assert sigma_noise(0.0, 0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sigma_noise(-0.1, 0.0)
+
+
+class TestGammaTheta:
+    def test_theta1_reduces_to_two_sigma(self):
+        """γ₁ = µ·2σ: first partition at µS(1−σ), last at µS(1+σ)."""
+        mu = 1e-9
+        g = gamma_theta(mu, 1, 0.04, 0.0)
+        assert g == pytest.approx(mu * 2 * 0.02)
+
+    def test_grows_with_theta(self):
+        mu = 1e-9
+        gs = [gamma_theta(mu, t, 0.04, 0.0) for t in (1, 2, 4, 8)]
+        assert gs == sorted(gs)
+        # Dominated by the θ term for large θ.
+        assert gs[-1] == pytest.approx(mu * (8 + 0.02 * (math.sqrt(8) + 1) - 1))
+
+    def test_zero_noise_zero_delay_at_theta1(self):
+        assert gamma_theta(1e-9, 1, 0.0, 0.0) == 0.0
+
+    def test_zero_noise_theta_only(self):
+        mu = 1e-9
+        assert gamma_theta(mu, 4, 0.0, 0.0) == pytest.approx(mu * 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gamma_theta(-1.0, 1, 0, 0)
+        with pytest.raises(ValueError):
+            gamma_theta(1.0, 0, 0, 0)
+
+
+class TestDelayTime:
+    def test_eq8(self):
+        assert delay_time(1e-10, 1e6) == pytest.approx(1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            delay_time(-1, 10)

@@ -1,0 +1,126 @@
+"""Tests for Eqs. (1)-(5): the pipelined-communication gain model."""
+
+import pytest
+
+from repro.model import (
+    crossover_bytes,
+    eta_large,
+    eta_small,
+    gamma_from_us_per_mb,
+    gamma_to_us_per_mb,
+    t_bulk,
+    t_pipelined,
+)
+
+BETA = 25e9  # the paper's 25 GB/s
+
+
+class TestUnits:
+    def test_gamma_conversion_round_trip(self):
+        g = gamma_from_us_per_mb(100.0)
+        assert g == pytest.approx(1e-10)
+        assert gamma_to_us_per_mb(g) == pytest.approx(100.0)
+
+
+class TestBulkTime:
+    def test_eq2(self):
+        # 8 partitions of 1 MB at 25 GB/s.
+        assert t_bulk(8, 1, 1e6, BETA) == pytest.approx(8e6 / 25e9)
+
+    def test_scales_with_theta(self):
+        assert t_bulk(4, 2, 1e6, BETA) == t_bulk(8, 1, 1e6, BETA)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            t_bulk(0, 1, 1e6, BETA)
+        with pytest.raises(ValueError):
+            t_bulk(1, 1, 1e6, 0)
+
+
+class TestPipelinedTime:
+    def test_no_delay_equals_bulk(self):
+        assert t_pipelined(8, 1, 1e6, BETA, 0.0) == pytest.approx(
+            t_bulk(8, 1, 1e6, BETA)
+        )
+
+    def test_full_overlap_floor(self):
+        """With a huge delay the pipeline hides all but one transfer."""
+        huge_gamma = 1.0  # s/B, absurdly large
+        tp = t_pipelined(8, 1, 1e6, BETA, huge_gamma)
+        assert tp == pytest.approx(1e6 / BETA)
+
+    def test_partial_overlap(self):
+        gamma = gamma_from_us_per_mb(100.0)
+        tp = t_pipelined(4, 1, 1e6, BETA, gamma)
+        expected = max(3e6 / BETA - gamma * 1e6, 0) + 1e6 / BETA
+        assert tp == pytest.approx(expected)
+
+
+class TestEtaLarge:
+    def test_paper_section22_examples(self):
+        """The §2.2 worked examples: γ = 1, 10 µs/MB at θ=1, N=8."""
+        assert eta_large(8, 1, BETA, gamma_from_us_per_mb(1.0)) == pytest.approx(
+            1.003, abs=5e-4
+        )
+        assert eta_large(8, 1, BETA, gamma_from_us_per_mb(10.0)) == pytest.approx(
+            1.032, abs=5e-4
+        )
+
+    def test_paper_theta8_example(self):
+        """γ = 1000 µs/MB at θ=8 gives η = 1.641."""
+        assert eta_large(
+            8, 8, BETA, gamma_from_us_per_mb(1000.0)
+        ) == pytest.approx(1.641, abs=5e-4)
+
+    def test_fig8_configuration(self):
+        """N=4, γ=100 µs/MB → 2.67 (the Fig. 8 theory line)."""
+        assert eta_large(
+            4, 1, BETA, gamma_from_us_per_mb(100.0)
+        ) == pytest.approx(8.0 / 3.0, rel=1e-6)
+
+    def test_gain_never_below_parity_floor(self):
+        """The max(..., 1) clamp bounds the gain at N·θ."""
+        eta = eta_large(4, 1, BETA, 1.0)
+        assert eta == pytest.approx(4.0)
+
+    def test_no_delay_no_gain(self):
+        assert eta_large(8, 1, BETA, 0.0) == pytest.approx(1.0)
+
+    def test_monotone_in_gamma(self):
+        gammas = [gamma_from_us_per_mb(g) for g in (0, 10, 50, 100, 200)]
+        etas = [eta_large(4, 1, BETA, g) for g in gammas]
+        assert etas == sorted(etas)
+
+
+class TestEtaSmall:
+    def test_eq5(self):
+        assert eta_small(8, 1) == pytest.approx(1 / 8)
+        assert eta_small(4, 32) == pytest.approx(1 / 128)
+
+    def test_single_message_parity(self):
+        assert eta_small(1, 1) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            eta_small(0, 1)
+
+
+class TestCrossover:
+    def test_fig8_crossover_order_of_magnitude(self):
+        """The paper observes ~100 kB for the Fig. 8 setup."""
+        x = crossover_bytes(
+            4, 1, BETA, gamma_from_us_per_mb(100.0), latency=1.22e-6
+        )
+        assert 10e3 < x < 1e6
+
+    def test_no_delay_never_crosses(self):
+        assert crossover_bytes(4, 1, BETA, 0.0, 1.22e-6) == float("inf")
+
+    def test_single_partition_crosses_immediately(self):
+        assert crossover_bytes(1, 1, BETA, 1.0, 1.22e-6) == 0.0
+
+    def test_more_latency_pushes_crossover_up(self):
+        g = gamma_from_us_per_mb(100.0)
+        assert crossover_bytes(4, 1, BETA, g, 2e-6) > crossover_bytes(
+            4, 1, BETA, g, 1e-6
+        )

@@ -1,0 +1,69 @@
+"""Tests for the end-to-end message-time and gain predictions."""
+
+import pytest
+
+from repro.model import predict_eta, predict_message_time
+from repro.model.pipeline import gamma_from_us_per_mb
+from repro.net import MELUXINA, Protocol
+
+
+class TestMessagePrediction:
+    def test_protocol_selection_matches_params(self):
+        assert predict_message_time(MELUXINA, 100).protocol is Protocol.SHORT
+        assert predict_message_time(MELUXINA, 4096).protocol is Protocol.BCOPY
+        assert predict_message_time(MELUXINA, 65536).protocol is Protocol.ZCOPY
+
+    def test_short_has_no_copies_or_handshake(self):
+        pred = predict_message_time(MELUXINA, 64)
+        assert pred.copies == 0.0
+        assert pred.handshake == 0.0
+
+    def test_bcopy_pays_two_copies(self):
+        pred = predict_message_time(MELUXINA, 4096)
+        assert pred.copies == pytest.approx(2 * MELUXINA.copy_time(4096))
+
+    def test_zcopy_pays_handshake_not_copies(self):
+        pred = predict_message_time(MELUXINA, 1 << 20)
+        assert pred.copies == 0.0
+        assert pred.handshake > 2 * MELUXINA.latency
+
+    def test_total_is_sum_of_parts(self):
+        pred = predict_message_time(MELUXINA, 4096)
+        assert pred.total == pytest.approx(
+            pred.post + pred.copies + pred.wire + pred.latency
+            + pred.handshake + pred.recv
+        )
+
+    def test_monotone_in_size_within_protocol(self):
+        t1 = predict_message_time(MELUXINA, 2048).total
+        t2 = predict_message_time(MELUXINA, 8192).total
+        assert t2 > t1
+
+    def test_prediction_matches_simulator_for_small_message(self):
+        """The Fig. 4 single-thread point: model vs simulation."""
+        from repro.bench import BenchSpec, run_benchmark
+
+        pred = predict_message_time(MELUXINA, 64).total
+        # The simulated metric adds the recv-post overhead.
+        pred += MELUXINA.recv_post_overhead
+        measured = run_benchmark(
+            BenchSpec(approach="pt2pt_single", total_bytes=64, iterations=3)
+        ).mean
+        assert measured == pytest.approx(pred, rel=0.05)
+
+
+class TestPredictEta:
+    def test_asymptotic_matches_eq4(self):
+        g = gamma_from_us_per_mb(100.0)
+        assert predict_eta(4, 1, g, MELUXINA) == pytest.approx(8 / 3, rel=1e-6)
+
+    def test_finite_size_below_asymptote(self):
+        g = gamma_from_us_per_mb(100.0)
+        finite = predict_eta(4, 1, g, MELUXINA, part_bytes=4 << 20)
+        asymptote = predict_eta(4, 1, g, MELUXINA)
+        assert finite == pytest.approx(asymptote, rel=1e-6)
+
+    def test_zero_delay_parity(self):
+        assert predict_eta(4, 1, 0.0, MELUXINA, part_bytes=1 << 20) == (
+            pytest.approx(1.0)
+        )

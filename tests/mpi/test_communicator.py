@@ -1,0 +1,200 @@
+"""Communicator tests: dup isolation, barriers, tag validation."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import ANY_TAG, Cvars, MPIError, MPIWorld, TAG_UB
+
+
+def make_world(n_ranks=2, **kw):
+    kw.setdefault("cvars", Cvars(verify_payloads=True))
+    return MPIWorld(n_ranks=n_ranks, **kw)
+
+
+class TestBasics:
+    def test_rank_and_size(self):
+        world = make_world()
+        c0 = world.comm_world(0)
+        c1 = world.comm_world(1)
+        assert c0.rank == 0 and c1.rank == 1
+        assert c0.size == 2 == c1.size
+
+    def test_comm_world_cached(self):
+        world = make_world()
+        assert world.comm_world(0) is world.comm_world(0)
+
+    def test_tag_bounds(self):
+        world = make_world()
+        comm = world.comm_world(0)
+        with pytest.raises(MPIError):
+            comm.send_init(dest=1, tag=TAG_UB, nbytes=8)
+        with pytest.raises(MPIError):
+            comm.send_init(dest=1, tag=-1, nbytes=8)
+
+    def test_any_tag_allowed_on_recv_only(self):
+        world = make_world()
+        comm = world.comm_world(1)
+        comm.recv_init(source=0, tag=ANY_TAG, nbytes=8)  # fine
+        with pytest.raises(MPIError):
+            comm.send_init(dest=0, tag=ANY_TAG, nbytes=8)
+
+
+class TestDup:
+    def test_dup_matching_contexts_across_ranks(self):
+        world = make_world()
+
+        def proc(world, rank):
+            comm = world.comm_world(rank)
+            dup = yield from comm.dup()
+            return dup.context_id
+
+        p0 = world.launch(0, proc(world, 0))
+        p1 = world.launch(1, proc(world, 1))
+        world.run()
+        assert p0.value == p1.value != 0
+
+    def test_dup_with_key_is_order_independent(self):
+        world = make_world()
+
+        def rank0(world):
+            comm = world.comm_world(0)
+            a = yield from comm.dup(key=10)
+            b = yield from comm.dup(key=20)
+            return (a.context_id, b.context_id)
+
+        def rank1(world):
+            comm = world.comm_world(1)
+            # Opposite order: keys still pair the contexts.
+            b = yield from comm.dup(key=20)
+            a = yield from comm.dup(key=10)
+            return (a.context_id, b.context_id)
+
+        p0 = world.launch(0, rank0(world))
+        p1 = world.launch(1, rank1(world))
+        world.run()
+        assert p0.value == p1.value
+
+    def test_dup_isolates_traffic(self):
+        """Same tag on parent and dup'd comm must not cross-match."""
+        world = make_world()
+        buf_parent = np.zeros(8, dtype=np.uint8)
+        buf_dup = np.zeros(8, dtype=np.uint8)
+
+        def sender(world):
+            comm = world.comm_world(0)
+            dup = yield from comm.dup()
+            yield from dup.send(dest=1, tag=5, nbytes=8,
+                                data=np.full(8, 2, np.uint8))
+            yield from comm.send(dest=1, tag=5, nbytes=8,
+                                 data=np.full(8, 1, np.uint8))
+
+        def receiver(world):
+            comm = world.comm_world(1)
+            dup = yield from comm.dup()
+            yield from comm.recv(source=0, tag=5, nbytes=8, buffer=buf_parent)
+            yield from dup.recv(source=0, tag=5, nbytes=8, buffer=buf_dup)
+
+        world.launch(0, sender(world))
+        world.launch(1, receiver(world))
+        world.run()
+        assert (buf_parent == 1).all()
+        assert (buf_dup == 2).all()
+
+    def test_dups_map_to_distinct_vcis(self):
+        world = make_world(cvars=Cvars(num_vcis=4, verify_payloads=True))
+
+        def proc(world):
+            comm = world.comm_world(0)
+            dups = []
+            for i in range(4):
+                dups.append((yield from comm.dup()))
+            return [d.vci for d in dups]
+
+        p = world.launch(0, proc(world))
+        world.run()
+        assert len(set(p.value)) == 4
+
+
+class TestBarrier:
+    def test_barrier_synchronizes_two_ranks(self):
+        world = make_world()
+        times = {}
+
+        def proc(world, rank, delay):
+            comm = world.comm_world(rank)
+            yield world.env.timeout(delay)
+            yield from comm.barrier()
+            times[rank] = world.env.now
+
+        world.launch(0, proc(world, 0, 0.0))
+        world.launch(1, proc(world, 1, 100e-6))
+        world.run()
+        # Rank 0 cannot leave before rank 1 arrives.
+        assert times[0] >= 100e-6
+        assert abs(times[0] - times[1]) < 5e-6
+
+    def test_barrier_many_iterations(self):
+        world = make_world()
+        counts = []
+
+        def proc(world, rank):
+            comm = world.comm_world(rank)
+            for i in range(10):
+                yield from comm.barrier()
+            counts.append(rank)
+
+        world.launch(0, proc(world, 0))
+        world.launch(1, proc(world, 1))
+        world.run()
+        assert sorted(counts) == [0, 1]
+
+    def test_barrier_four_ranks(self):
+        world = make_world(n_ranks=4)
+        times = {}
+
+        def proc(world, rank, delay):
+            comm = world.comm_world(rank)
+            yield world.env.timeout(delay)
+            yield from comm.barrier()
+            times[rank] = world.env.now
+
+        for r, d in enumerate((0.0, 10e-6, 20e-6, 50e-6)):
+            world.launch(r, proc(world, r, d))
+        world.run()
+        assert min(times.values()) >= 50e-6
+
+    def test_single_rank_barrier_is_free(self):
+        world = make_world(n_ranks=1)
+
+        def proc(world):
+            yield from world.comm_world(0).barrier()
+            return world.env.now
+
+        p = world.launch(0, proc(world))
+        world.run()
+        assert p.value == 0.0
+
+
+class TestWorld:
+    def test_invalid_rank_count(self):
+        with pytest.raises(ValueError):
+            MPIWorld(n_ranks=0)
+
+    def test_launch_rank_bounds(self):
+        world = make_world()
+
+        def proc(world):
+            yield world.env.timeout(0)
+
+        with pytest.raises(ValueError):
+            world.launch(5, proc(world))
+
+    def test_context_allocation_is_deterministic(self):
+        w1 = make_world()
+        w2 = make_world()
+        assert w1.alloc_context(0, 0) == w2.alloc_context(0, 0)
+        assert w1.alloc_context(0, 1) == w2.alloc_context(0, 1)
+
+    def test_now_property(self):
+        world = make_world()
+        assert world.now == 0.0

@@ -1,0 +1,151 @@
+"""Multi-rank scenarios beyond the paper's two-node benchmark."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import Cvars, MPIWorld
+
+
+def make_world(n_ranks=4, **kw):
+    kw.setdefault("cvars", Cvars(verify_payloads=True))
+    return MPIWorld(n_ranks=n_ranks, **kw)
+
+
+class TestRing:
+    def test_eager_ring(self):
+        world = make_world(4)
+        received = {}
+
+        def node(world, rank):
+            comm = world.comm_world(rank)
+            right = (rank + 1) % 4
+            left = (rank - 1) % 4
+            data = np.full(64, rank, dtype=np.uint8)
+            buf = np.zeros(64, dtype=np.uint8)
+            sreq = yield from comm.isend(dest=right, tag=3, nbytes=64,
+                                         data=data)
+            yield from comm.recv(source=left, tag=3, nbytes=64, buffer=buf)
+            yield from sreq.wait()
+            received[rank] = int(buf[0])
+
+        for r in range(4):
+            world.launch(r, node(world, r))
+        world.run()
+        assert received == {0: 3, 1: 0, 2: 1, 3: 2}
+
+    def test_partitioned_ring(self):
+        world = make_world(4)
+        n_parts, nbytes = 4, 4096
+        ok = {}
+
+        def node(world, rank):
+            comm = world.comm_world(rank)
+            right = (rank + 1) % 4
+            left = (rank - 1) % 4
+            data = np.full(nbytes, rank + 1, dtype=np.uint8)
+            buf = np.zeros(nbytes, dtype=np.uint8)
+            sreq = yield from comm.psend_init(
+                dest=right, tag=3, partitions=n_parts, nbytes=nbytes,
+                data=data,
+            )
+            rreq = yield from comm.precv_init(
+                source=left, tag=3, partitions=n_parts, nbytes=nbytes,
+                buffer=buf,
+            )
+            yield from sreq.start()
+            yield from rreq.start()
+            for p in range(n_parts):
+                yield from sreq.pready(p)
+            yield from sreq.wait()
+            yield from rreq.wait()
+            ok[rank] = bool((buf == ((rank - 1) % 4) + 1).all())
+
+        for r in range(4):
+            world.launch(r, node(world, r))
+        world.run()
+        assert all(ok.values()), ok
+
+
+class TestFanIn:
+    def test_gather_pattern_to_rank0(self):
+        world = make_world(4)
+        collected = np.zeros((3, 32), dtype=np.uint8)
+
+        def worker(world, rank):
+            comm = world.comm_world(rank)
+            data = np.full(32, rank * 11, dtype=np.uint8)
+            yield from comm.send(dest=0, tag=rank, nbytes=32, data=data)
+
+        def root(world):
+            comm = world.comm_world(0)
+            for src in (1, 2, 3):
+                yield from comm.recv(
+                    source=src, tag=src, nbytes=32,
+                    buffer=collected[src - 1],
+                )
+
+        world.launch(0, root(world))
+        for r in (1, 2, 3):
+            world.launch(r, worker(world, r))
+        world.run()
+        for src in (1, 2, 3):
+            assert (collected[src - 1] == src * 11).all()
+
+    def test_partitioned_fan_in_separate_tag_budgets(self):
+        """Two senders target one receiver; partitioned registries and
+        tag budgets must stay per-peer."""
+        world = make_world(3)
+        bufs = {1: np.zeros(1024, dtype=np.uint8),
+                2: np.zeros(1024, dtype=np.uint8)}
+
+        def sender(world, rank):
+            comm = world.comm_world(rank)
+            data = np.full(1024, rank * 7, dtype=np.uint8)
+            req = yield from comm.psend_init(
+                dest=0, tag=5, partitions=4, nbytes=1024, data=data
+            )
+            yield from req.start()
+            for p in range(4):
+                yield from req.pready(p)
+            yield from req.wait()
+
+        def receiver(world):
+            comm = world.comm_world(0)
+            reqs = []
+            for src in (1, 2):
+                req = yield from comm.precv_init(
+                    source=src, tag=5, partitions=4, nbytes=1024,
+                    buffer=bufs[src],
+                )
+                reqs.append(req)
+            for req in reqs:
+                yield from req.start()
+            for req in reqs:
+                yield from req.wait()
+
+        world.launch(0, receiver(world))
+        world.launch(1, sender(world, 1))
+        world.launch(2, sender(world, 2))
+        world.run()
+        assert (bufs[1] == 7).all()
+        assert (bufs[2] == 14).all()
+
+
+class TestManyRanksBarrier:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_dissemination_barrier_sizes(self, n):
+        world = make_world(n)
+        exits = []
+
+        def node(world, rank):
+            comm = world.comm_world(rank)
+            yield world.env.timeout(rank * 10e-6)
+            yield from comm.barrier()
+            exits.append(world.env.now)
+
+        for r in range(n):
+            world.launch(r, node(world, r))
+        world.run()
+        latest_arrival = (n - 1) * 10e-6
+        assert min(exits) >= latest_arrival
+        assert max(exits) - min(exits) < 10e-6

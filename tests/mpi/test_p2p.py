@@ -1,0 +1,277 @@
+"""Point-to-point tests: eager/rendezvous protocols, persistence, ordering."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, Cvars, MPIWorld, TruncationError
+from repro.net import PacketKind
+
+
+def make_world(**kw):
+    kw.setdefault("cvars", Cvars(verify_payloads=True))
+    return MPIWorld(n_ranks=2, **kw)
+
+
+def run_pair(world, sender, receiver):
+    world.launch(0, sender)
+    p = world.launch(1, receiver)
+    world.run()
+    return p.value
+
+
+class TestBlocking:
+    @pytest.mark.parametrize("nbytes", [1, 64, 1024, 2048, 8192, 16384, 1 << 20])
+    def test_roundtrip_all_protocols(self, nbytes):
+        world = make_world()
+        data = (np.arange(nbytes) % 251).astype(np.uint8)
+        buf = np.zeros(nbytes, dtype=np.uint8)
+
+        def sender(world):
+            comm = world.comm_world(0)
+            yield from comm.send(dest=1, tag=3, nbytes=nbytes, data=data)
+
+        def receiver(world):
+            comm = world.comm_world(1)
+            st = yield from comm.recv(source=0, tag=3, nbytes=nbytes, buffer=buf)
+            return st
+
+        st = run_pair(world, sender(world), receiver(world))
+        assert st.nbytes == nbytes
+        assert st.source == 0
+        assert (buf == data).all()
+
+    def test_zero_byte_message(self):
+        world = make_world()
+
+        def sender(world):
+            yield from world.comm_world(0).send(dest=1, tag=0, nbytes=0)
+
+        def receiver(world):
+            st = yield from world.comm_world(1).recv(source=0, tag=0, nbytes=0)
+            return st.nbytes
+
+        assert run_pair(world, sender(world), receiver(world)) == 0
+
+    def test_send_before_recv_posted(self):
+        """Unexpected-queue path: the receive arrives late."""
+        world = make_world()
+        buf = np.zeros(256, dtype=np.uint8)
+        data = np.full(256, 7, dtype=np.uint8)
+
+        def sender(world):
+            yield from world.comm_world(0).send(dest=1, tag=1, nbytes=256, data=data)
+
+        def receiver(world):
+            yield world.env.timeout(50e-6)  # arrive long after the data
+            st = yield from world.comm_world(1).recv(
+                source=0, tag=1, nbytes=256, buffer=buf
+            )
+            return st
+
+        run_pair(world, sender(world), receiver(world))
+        assert (buf == 7).all()
+
+    def test_rendezvous_before_recv_posted(self):
+        """Unexpected RTS: CTS only flows once the receive is posted."""
+        world = make_world()
+        n = 1 << 16
+        data = (np.arange(n) % 199).astype(np.uint8)
+        buf = np.zeros(n, dtype=np.uint8)
+
+        def sender(world):
+            comm = world.comm_world(0)
+            req = yield from comm.isend(dest=1, tag=1, nbytes=n, data=data)
+            yield from req.wait()
+            return world.env.now
+
+        def receiver(world):
+            yield world.env.timeout(100e-6)
+            yield from world.comm_world(1).recv(
+                source=0, tag=1, nbytes=n, buffer=buf
+            )
+            return world.env.now
+
+        world.launch(0, sender(world))
+        p = world.launch(1, receiver(world))
+        world.run()
+        assert (buf == data).all()
+        # Data could not move before the receive was posted.
+        assert p.value > 100e-6
+
+    def test_truncation_raises(self):
+        world = make_world()
+
+        def sender(world):
+            yield from world.comm_world(0).send(dest=1, tag=1, nbytes=128)
+
+        def receiver(world):
+            yield from world.comm_world(1).recv(source=0, tag=1, nbytes=64)
+
+        world.launch(0, sender(world))
+        world.launch(1, receiver(world))
+        with pytest.raises(TruncationError):
+            world.run()
+
+
+class TestNonBlocking:
+    def test_isend_irecv_overlap(self):
+        world = make_world()
+
+        def sender(world):
+            comm = world.comm_world(0)
+            reqs = []
+            for tag in range(4):
+                req = yield from comm.isend(dest=1, tag=tag, nbytes=64)
+                reqs.append(req)
+            for req in reqs:
+                yield from req.wait()
+
+        def receiver(world):
+            comm = world.comm_world(1)
+            reqs = []
+            for tag in range(4):
+                req = yield from comm.irecv(source=0, tag=tag, nbytes=64)
+                reqs.append(req)
+            statuses = []
+            for req in reqs:
+                statuses.append((yield from req.wait()))
+            return statuses
+
+        statuses = run_pair(world, sender(world), receiver(world))
+        assert [s.tag for s in statuses] == [0, 1, 2, 3]
+
+    def test_any_source_any_tag(self):
+        world = make_world()
+
+        def sender(world):
+            yield from world.comm_world(0).send(dest=1, tag=42, nbytes=8)
+
+        def receiver(world):
+            st = yield from world.comm_world(1).recv(
+                source=ANY_SOURCE, tag=ANY_TAG, nbytes=8
+            )
+            return st
+
+        st = run_pair(world, sender(world), receiver(world))
+        assert st.source == 0 and st.tag == 42
+
+
+class TestOrdering:
+    def test_non_overtaking_same_tag(self):
+        """MPI guarantee: same (src, tag, comm) messages arrive in order."""
+        world = make_world()
+        bufs = [np.zeros(16, dtype=np.uint8) for _ in range(5)]
+
+        def sender(world):
+            comm = world.comm_world(0)
+            for i in range(5):
+                data = np.full(16, i, dtype=np.uint8)
+                yield from comm.send(dest=1, tag=7, nbytes=16, data=data)
+
+        def receiver(world):
+            comm = world.comm_world(1)
+            for i in range(5):
+                yield from comm.recv(source=0, tag=7, nbytes=16, buffer=bufs[i])
+
+        run_pair(world, sender(world), receiver(world))
+        for i in range(5):
+            assert (bufs[i] == i).all(), f"message {i} overtaken"
+
+
+class TestPersistent:
+    def test_persistent_send_recv_iterations(self):
+        world = make_world()
+        n_iter = 4
+        buf = np.zeros(128, dtype=np.uint8)
+        data = np.arange(128, dtype=np.uint8)
+
+        def sender(world):
+            comm = world.comm_world(0)
+            req = comm.send_init(dest=1, tag=9, nbytes=128, data=data)
+            for _ in range(n_iter):
+                yield from req.start()
+                yield from req.wait()
+
+        def receiver(world):
+            comm = world.comm_world(1)
+            req = comm.recv_init(source=0, tag=9, nbytes=128, buffer=buf)
+            received = 0
+            for _ in range(n_iter):
+                buf[:] = 0
+                yield from req.start()
+                yield from req.wait()
+                assert (buf == data).all()
+                received += 1
+            return received
+
+        assert run_pair(world, sender(world), receiver(world)) == n_iter
+
+    def test_eager_send_completes_locally(self):
+        """An eager persistent send is complete right after Start."""
+        world = make_world()
+
+        def sender(world):
+            comm = world.comm_world(0)
+            req = comm.send_init(dest=1, tag=2, nbytes=64)
+            yield from req.start()
+            return req.test()
+
+        def receiver(world):
+            yield from world.comm_world(1).recv(source=0, tag=2, nbytes=64)
+
+        world.launch(1, receiver(world))
+        p = world.launch(0, sender(world))
+        world.run()
+        assert p.value is True
+
+
+class TestProtocolTraffic:
+    def test_eager_message_counts(self):
+        world = make_world()
+
+        def sender(world):
+            yield from world.comm_world(0).send(dest=1, tag=1, nbytes=512)
+
+        def receiver(world):
+            yield from world.comm_world(1).recv(source=0, tag=1, nbytes=512)
+
+        run_pair(world, sender(world), receiver(world))
+        rt0 = world.rank(0)
+        assert rt0.tx_counters.get(PacketKind.EAGER) == 1
+        assert rt0.tx_counters.get(PacketKind.RTS) is None
+
+    def test_rendezvous_message_counts(self):
+        world = make_world()
+        n = 1 << 16
+
+        def sender(world):
+            yield from world.comm_world(0).send(dest=1, tag=1, nbytes=n)
+
+        def receiver(world):
+            yield from world.comm_world(1).recv(source=0, tag=1, nbytes=n)
+
+        run_pair(world, sender(world), receiver(world))
+        rt0, rt1 = world.rank(0), world.rank(1)
+        assert rt0.tx_counters.get(PacketKind.RTS) == 1
+        assert rt1.tx_counters.get(PacketKind.CTS) == 1
+        assert rt0.tx_counters.get(PacketKind.RDMA_DATA) == 1
+
+    def test_rendezvous_slower_than_eager_at_threshold(self):
+        """The zcopy handshake makes 16 KiB slower than 8 KiB (Fig. 4)."""
+
+        def elapsed(nbytes):
+            world = make_world()
+
+            def sender(world):
+                yield from world.comm_world(0).send(dest=1, tag=1, nbytes=nbytes)
+
+            def receiver(world):
+                yield from world.comm_world(1).recv(source=0, tag=1, nbytes=nbytes)
+                return world.env.now
+
+            world.launch(0, sender(world))
+            p = world.launch(1, receiver(world))
+            world.run()
+            return p.value
+
+        assert elapsed(16384) > elapsed(8192)

@@ -1,0 +1,349 @@
+"""Tests for the improved partitioned-communication path (§3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import (
+    Cvars,
+    MPIWorld,
+    PartitionError,
+    PartitionedSendRequest,
+    RequestStateError,
+)
+from repro.mpi.partitioned import negotiate_message_count
+from repro.net import PacketKind
+
+
+def make_world(**kw):
+    kw.setdefault("cvars", Cvars(verify_payloads=True))
+    return MPIWorld(n_ranks=2, **kw)
+
+
+class TestNegotiation:
+    def test_equal_counts_no_aggregation(self):
+        assert negotiate_message_count(8, 8, 8192, 0) == 8
+
+    def test_gcd_of_mismatched_counts(self):
+        assert negotiate_message_count(8, 12, 9600, 0) == 4
+        assert negotiate_message_count(6, 4, 1200, 0) == 2
+        assert negotiate_message_count(7, 5, 3500, 0) == 1
+
+    def test_gcd_guarantees_whole_partitions(self):
+        """Every partition of either side maps to exactly one message."""
+        for ns, nr in [(8, 12), (32, 48), (5, 10), (9, 6)]:
+            g = negotiate_message_count(ns, nr, ns * nr * 16, 0)
+            assert ns % g == 0 and nr % g == 0
+
+    def test_aggregation_reduces_message_count(self):
+        # 32 messages of 64 B; aggregating under 512 B -> groups of 8.
+        assert negotiate_message_count(32, 32, 2048, 512) == 4
+
+    def test_aggregation_bound_respected(self):
+        total, nparts = 2048, 32
+        for aggr in (64, 128, 256, 512, 1024):
+            n_msgs = negotiate_message_count(nparts, nparts, total, aggr)
+            assert total // n_msgs <= max(aggr, total // nparts)
+
+    def test_no_aggregation_when_messages_already_large(self):
+        assert negotiate_message_count(4, 4, 1 << 20, 4096) == 4
+
+    def test_aggregate_everything_with_huge_bound(self):
+        assert negotiate_message_count(32, 32, 2048, 1 << 30) == 1
+
+    def test_result_divides_gcd(self):
+        for aggr in (0, 100, 500, 1000, 5000):
+            n = negotiate_message_count(24, 36, 12000, aggr)
+            assert 12 % n == 0
+
+    def test_invalid_counts(self):
+        with pytest.raises(PartitionError):
+            negotiate_message_count(0, 4, 100, 0)
+
+
+def run_partitioned(world, n_parts_send, n_parts_recv, nbytes, iters=1,
+                    tag=5):
+    data = (np.arange(nbytes) % 251).astype(np.uint8)
+    buf = np.zeros(nbytes, dtype=np.uint8)
+    checks = []
+
+    def sender(world):
+        comm = world.comm_world(0)
+        req = yield from comm.psend_init(
+            dest=1, tag=tag, partitions=n_parts_send, nbytes=nbytes, data=data
+        )
+        for _ in range(iters):
+            yield from req.start()
+            for p in range(n_parts_send):
+                yield from req.pready(p)
+            yield from req.wait()
+        return req
+
+    def receiver(world):
+        comm = world.comm_world(1)
+        req = yield from comm.precv_init(
+            source=0, tag=tag, partitions=n_parts_recv, nbytes=nbytes,
+            buffer=buf,
+        )
+        for _ in range(iters):
+            buf[:] = 0
+            yield from req.start()
+            yield from req.wait()
+            checks.append(bool((buf == data).all()))
+        return req
+
+    s = world.launch(0, sender(world))
+    r = world.launch(1, receiver(world))
+    world.run()
+    return s.value, r.value, checks
+
+
+class TestTransfer:
+    @pytest.mark.parametrize("n_parts", [1, 2, 4, 8, 16])
+    def test_roundtrip_various_partition_counts(self, n_parts):
+        world = make_world()
+        _, _, checks = run_partitioned(world, n_parts, n_parts, 4096)
+        assert checks == [True]
+
+    @pytest.mark.parametrize("ns,nr", [(8, 4), (4, 8), (6, 9), (12, 8)])
+    def test_mismatched_partition_counts(self, ns, nr):
+        world = make_world()
+        nbytes = np.lcm(ns, nr) * 64
+        _, _, checks = run_partitioned(world, ns, nr, int(nbytes))
+        assert checks == [True]
+
+    def test_many_iterations(self):
+        world = make_world()
+        _, _, checks = run_partitioned(world, 8, 8, 2048, iters=5)
+        assert checks == [True] * 5
+
+    def test_large_buffer_rendezvous_messages(self):
+        world = make_world()
+        _, _, checks = run_partitioned(world, 4, 4, 1 << 20)
+        assert checks == [True]
+
+    def test_message_count_on_wire(self):
+        """gcd(8,8)=8 internal eager messages per iteration."""
+        world = make_world()
+        run_partitioned(world, 8, 8, 4096, iters=2)
+        rt0 = world.rank(0)
+        assert rt0.tx_counters.get(PacketKind.EAGER) == 16
+
+    def test_aggregation_reduces_wire_messages(self):
+        world = make_world(
+            cvars=Cvars(verify_payloads=True, part_aggr_size=2048)
+        )
+        _, _, checks = run_partitioned(world, 32, 32, 4096)
+        # 32 x 128 B partitions, aggregated under 2048 B -> 2 messages.
+        assert world.rank(0).tx_counters.get(PacketKind.EAGER) == 2
+        assert checks == [True]
+
+    def test_first_iteration_cts_only(self):
+        """The improved path pays the CTS once, not per iteration."""
+        world = make_world()
+        run_partitioned(world, 4, 4, 1024, iters=4)
+        rt1 = world.rank(1)
+        ctrl = rt1.tx_counters.get(PacketKind.CTRL, 0)
+        # One part_cts from the receiver (plus barrier-free world: no
+        # other ctrl traffic from rank 1).
+        assert ctrl == 1
+
+
+class TestPready:
+    def test_pready_out_of_order(self):
+        world = make_world()
+        nbytes = 4096
+        data = (np.arange(nbytes) % 251).astype(np.uint8)
+        buf = np.zeros(nbytes, dtype=np.uint8)
+
+        def sender(world):
+            comm = world.comm_world(0)
+            req = yield from comm.psend_init(
+                dest=1, tag=5, partitions=8, nbytes=nbytes, data=data
+            )
+            yield from req.start()
+            for p in (7, 3, 0, 5, 1, 6, 2, 4):
+                yield from req.pready(p)
+            yield from req.wait()
+
+        def receiver(world):
+            comm = world.comm_world(1)
+            req = yield from comm.precv_init(
+                source=0, tag=5, partitions=8, nbytes=nbytes, buffer=buf
+            )
+            yield from req.start()
+            yield from req.wait()
+
+        world.launch(0, sender(world))
+        world.launch(1, receiver(world))
+        world.run()
+        assert (buf == data).all()
+
+    def test_pready_before_start_raises(self):
+        world = make_world()
+
+        def sender(world):
+            comm = world.comm_world(0)
+            req = yield from comm.psend_init(
+                dest=1, tag=5, partitions=4, nbytes=1024
+            )
+            with pytest.raises(RequestStateError):
+                yield from req.pready(0)
+
+        def receiver(world):
+            comm = world.comm_world(1)
+            yield from comm.precv_init(source=0, tag=5, partitions=4,
+                                       nbytes=1024)
+
+        world.launch(0, sender(world))
+        world.launch(1, receiver(world))
+        world.run()
+
+    def test_pready_bad_partition_raises(self):
+        world = make_world()
+
+        def sender(world):
+            comm = world.comm_world(0)
+            req = yield from comm.psend_init(
+                dest=1, tag=5, partitions=4, nbytes=1024
+            )
+            yield from req.start()
+            with pytest.raises(PartitionError):
+                yield from req.pready(4)
+
+        def receiver(world):
+            comm = world.comm_world(1)
+            yield from comm.precv_init(source=0, tag=5, partitions=4,
+                                       nbytes=1024)
+
+        world.launch(0, sender(world))
+        world.launch(1, receiver(world))
+        world.run()
+
+
+class TestParrived:
+    def test_parrived_progression(self):
+        world = make_world()
+        nbytes = 4096
+        observed = []
+
+        def sender(world):
+            comm = world.comm_world(0)
+            req = yield from comm.psend_init(
+                dest=1, tag=5, partitions=4, nbytes=nbytes
+            )
+            yield from req.start()
+            yield from req.pready(0)
+            yield world.env.timeout(50e-6)  # let partition 0 land
+            yield from comm.send(dest=1, tag=6, nbytes=0)  # probe signal
+            for p in range(1, 4):
+                yield from req.pready(p)
+            yield from req.wait()
+
+        def receiver(world):
+            comm = world.comm_world(1)
+            req = yield from comm.precv_init(
+                source=0, tag=5, partitions=4, nbytes=nbytes
+            )
+            yield from req.start()
+            yield from comm.recv(source=0, tag=6, nbytes=0)
+            observed.append(req.parrived(0))
+            observed.append(req.parrived(3))
+            yield from req.wait()
+
+        world.launch(0, sender(world))
+        world.launch(1, receiver(world))
+        world.run()
+        assert observed == [True, False]
+
+    def test_parrived_before_start_raises(self):
+        world = make_world()
+
+        def receiver(world):
+            comm = world.comm_world(1)
+            req = yield from comm.precv_init(
+                source=0, tag=5, partitions=4, nbytes=1024
+            )
+            with pytest.raises(RequestStateError):
+                req.parrived(0)
+
+        def sender(world):
+            comm = world.comm_world(0)
+            yield from comm.psend_init(dest=1, tag=5, partitions=4, nbytes=1024)
+
+        world.launch(0, sender(world))
+        world.launch(1, receiver(world))
+        world.run()
+
+
+class TestValidation:
+    def test_indivisible_buffer_rejected(self):
+        world = make_world()
+        comm = world.comm_world(0)
+        with pytest.raises(PartitionError):
+            PartitionedSendRequest(comm, 1, 5, partitions=3, nbytes=100)
+
+    def test_zero_partitions_rejected(self):
+        world = make_world()
+        comm = world.comm_world(0)
+        with pytest.raises(PartitionError):
+            PartitionedSendRequest(comm, 1, 5, partitions=0, nbytes=100)
+
+    def test_duplicate_precv_rejected(self):
+        world = make_world()
+
+        def receiver(world):
+            comm = world.comm_world(1)
+            yield from comm.precv_init(source=0, tag=5, partitions=4,
+                                       nbytes=1024)
+            with pytest.raises(PartitionError):
+                yield from comm.precv_init(source=0, tag=5, partitions=4,
+                                           nbytes=1024)
+
+        world.launch(1, receiver(world))
+        world.run()
+
+    def test_free_releases_registry_slot(self):
+        world = make_world()
+
+        def receiver(world):
+            comm = world.comm_world(1)
+            req = yield from comm.precv_init(source=0, tag=5, partitions=4,
+                                             nbytes=1024)
+            req.free()
+            req2 = yield from comm.precv_init(source=0, tag=5, partitions=4,
+                                              nbytes=1024)
+            return req2 is not None
+
+        p = world.launch(1, receiver(world))
+        world.run()
+        assert p.value
+
+
+class TestTagFallback:
+    def test_tag_exhaustion_falls_back_to_am(self):
+        world = make_world(
+            cvars=Cvars(verify_payloads=True, part_reserved_tags=4)
+        )
+
+        def sender(world):
+            comm = world.comm_world(0)
+            r1 = yield from comm.psend_init(dest=1, tag=1, partitions=4,
+                                            nbytes=256)
+            r2 = yield from comm.psend_init(dest=1, tag=2, partitions=4,
+                                            nbytes=256)
+            return type(r1).__name__, type(r2).__name__
+
+        p = world.launch(0, sender(world))
+        world.launch(1, _drain(world))
+        world.run()
+        assert p.value == (
+            "PartitionedSendRequest",
+            "AmPartitionedSendRequest",
+        )
+
+
+def _drain(world):
+    """Receiver registering both partitioned receives."""
+    comm = world.comm_world(1)
+    yield from comm.precv_init(source=0, tag=1, partitions=4, nbytes=256)
+    yield from comm.precv_init(source=0, tag=2, partitions=4, nbytes=256)

@@ -1,0 +1,189 @@
+"""Tests for the legacy AM-based partitioned path (§3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import AmPartitionedSendRequest, Cvars, MPIWorld
+from repro.net import PacketKind
+
+
+def make_world(**kw):
+    kw.setdefault(
+        "cvars", Cvars(verify_payloads=True, part_force_am=True)
+    )
+    return MPIWorld(n_ranks=2, **kw)
+
+
+def run_am(world, n_parts, nbytes, iters=1):
+    data = (np.arange(nbytes) % 241).astype(np.uint8)
+    buf = np.zeros(nbytes, dtype=np.uint8)
+    checks = []
+
+    def sender(world):
+        comm = world.comm_world(0)
+        req = yield from comm.psend_init(
+            dest=1, tag=5, partitions=n_parts, nbytes=nbytes, data=data
+        )
+        assert isinstance(req, AmPartitionedSendRequest)
+        for _ in range(iters):
+            yield from req.start()
+            for p in range(n_parts):
+                yield from req.pready(p)
+            yield from req.wait()
+        return req
+
+    def receiver(world):
+        comm = world.comm_world(1)
+        req = yield from comm.precv_init(
+            source=0, tag=5, partitions=n_parts, nbytes=nbytes, buffer=buf
+        )
+        for _ in range(iters):
+            buf[:] = 0
+            yield from req.start()
+            yield from req.wait()
+            checks.append(bool((buf == data).all()))
+        return req
+
+    world.launch(0, sender(world))
+    r = world.launch(1, receiver(world))
+    world.run()
+    return r.value, checks
+
+
+class TestAmPath:
+    @pytest.mark.parametrize("n_parts", [1, 4, 16])
+    def test_roundtrip(self, n_parts):
+        world = make_world()
+        _, checks = run_am(world, n_parts, 4096)
+        assert checks == [True]
+
+    def test_multiple_iterations(self):
+        world = make_world()
+        _, checks = run_am(world, 4, 2048, iters=4)
+        assert checks == [True] * 4
+
+    def test_single_data_message_per_iteration(self):
+        """The whole buffer moves as ONE AM message (§3.1)."""
+        world = make_world()
+        run_am(world, 8, 8192, iters=3)
+        rt0 = world.rank(0)
+        # 1 RTS at init + 3 data messages.
+        assert rt0.tx_counters.get(PacketKind.AM) == 4
+        assert rt0.tx_counters.get(PacketKind.EAGER) is None
+
+    def test_cts_sent_every_iteration(self):
+        """Unlike the improved path, the AM path needs a CTS per
+        iteration (the counter's '+1')."""
+        world = make_world()
+        run_am(world, 4, 1024, iters=4)
+        rt1 = world.rank(1)
+        assert rt1.tx_counters.get(PacketKind.CTRL, 0) == 4
+
+    def test_receiver_in_am_mode(self):
+        world = make_world()
+        rreq, _ = run_am(world, 4, 1024)
+        assert rreq.mode == "am"
+
+    def test_no_early_bird_nothing_sent_before_last_pready(self):
+        world = make_world()
+        nbytes = 4096
+        am_counts = []
+
+        def sender(world):
+            comm = world.comm_world(0)
+            req = yield from comm.psend_init(
+                dest=1, tag=5, partitions=4, nbytes=nbytes
+            )
+            yield from req.start()
+            base = world.rank(0).tx_counters.get(PacketKind.AM, 0)
+            for p in range(3):
+                yield from req.pready(p)
+            yield world.env.timeout(20e-6)
+            am_counts.append(world.rank(0).tx_counters.get(PacketKind.AM, 0) - base)
+            yield from req.pready(3)
+            yield from req.wait()
+            am_counts.append(world.rank(0).tx_counters.get(PacketKind.AM, 0) - base)
+
+        def receiver(world):
+            comm = world.comm_world(1)
+            req = yield from comm.precv_init(
+                source=0, tag=5, partitions=4, nbytes=nbytes
+            )
+            yield from req.start()
+            yield from req.wait()
+
+        world.launch(0, sender(world))
+        world.launch(1, receiver(world))
+        world.run()
+        assert am_counts == [0, 1]
+
+    def test_parrived_granularity_is_whole_buffer(self):
+        world = make_world()
+        observed = []
+
+        def sender(world):
+            comm = world.comm_world(0)
+            req = yield from comm.psend_init(
+                dest=1, tag=5, partitions=4, nbytes=1024
+            )
+            yield from req.start()
+            yield from req.pready(0)
+            yield world.env.timeout(20e-6)
+            yield from comm.send(dest=1, tag=6, nbytes=0)
+            for p in range(1, 4):
+                yield from req.pready(p)
+            yield from req.wait()
+
+        def receiver(world):
+            comm = world.comm_world(1)
+            req = yield from comm.precv_init(
+                source=0, tag=5, partitions=4, nbytes=1024
+            )
+            yield from req.start()
+            yield from comm.recv(source=0, tag=6, nbytes=0)
+            # Nothing has arrived: the AM path sends all-or-nothing.
+            observed.append(req.parrived(0))
+            yield from req.wait()
+
+        world.launch(0, sender(world))
+        world.launch(1, receiver(world))
+        world.run()
+        assert observed == [False]
+
+    def test_am_slower_than_improved_for_large_messages(self):
+        """The AM copies bound large transfers to the memcpy rate."""
+
+        def timed(force_am):
+            world = MPIWorld(
+                n_ranks=2,
+                cvars=Cvars(part_force_am=force_am),
+            )
+            nbytes = 1 << 20
+
+            def sender(world):
+                comm = world.comm_world(0)
+                req = yield from comm.psend_init(
+                    dest=1, tag=5, partitions=4, nbytes=nbytes
+                )
+                yield from req.start()
+                for p in range(4):
+                    yield from req.pready(p)
+                yield from req.wait()
+
+            def receiver(world):
+                comm = world.comm_world(1)
+                req = yield from comm.precv_init(
+                    source=0, tag=5, partitions=4, nbytes=nbytes
+                )
+                yield from req.start()
+                yield from req.wait()
+                return world.env.now
+
+            world.launch(0, sender(world))
+            p = world.launch(1, receiver(world))
+            world.run()
+            return p.value
+
+        t_am = timed(True)
+        t_improved = timed(False)
+        assert t_am > 2.0 * t_improved

@@ -1,0 +1,151 @@
+"""Tests for the pipelined partitioned chain broadcast (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import Cvars, MPIWorld
+from repro.mpi.partitioned_coll import PipelinedBcast
+
+
+def run_bcast(n_ranks=4, partitions=8, nbytes=1 << 16, root=0, iters=1,
+              delay_per_partition=0.0):
+    world = MPIWorld(n_ranks=n_ranks, cvars=Cvars(verify_payloads=True))
+    payload = (np.arange(nbytes) % 251).astype(np.uint8)
+    buffers = {
+        r: np.zeros(nbytes, dtype=np.uint8)
+        for r in range(n_ranks)
+        if r != root
+    }
+    finish = {}
+
+    def node(world, rank):
+        comm = world.comm_world(rank)
+        bcast = PipelinedBcast(
+            comm,
+            partitions=partitions,
+            nbytes=nbytes,
+            root=root,
+            data=payload if rank == root else None,
+            buffer=buffers.get(rank),
+        )
+        yield from bcast.init()
+        for _ in range(iters):
+            yield from bcast.start()
+            if bcast.is_root:
+                for p in range(partitions):
+                    if delay_per_partition:
+                        yield world.env.timeout(delay_per_partition)
+                    yield from bcast.pready(p)
+            yield from bcast.wait()
+        bcast.free()
+        finish[rank] = world.env.now
+
+    for r in range(n_ranks):
+        world.launch(r, node(world, r))
+    world.run()
+    return payload, buffers, finish
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n_ranks", [2, 3, 4, 6])
+    def test_all_ranks_receive_payload(self, n_ranks):
+        payload, buffers, _ = run_bcast(n_ranks=n_ranks)
+        for rank, buf in buffers.items():
+            assert (buf == payload).all(), f"rank {rank} corrupted"
+
+    def test_nonzero_root(self):
+        payload, buffers, _ = run_bcast(n_ranks=4, root=2)
+        for rank, buf in buffers.items():
+            assert (buf == payload).all(), f"rank {rank} corrupted"
+
+    def test_multiple_iterations(self):
+        payload, buffers, _ = run_bcast(n_ranks=3, iters=3)
+        for buf in buffers.values():
+            assert (buf == payload).all()
+
+    @pytest.mark.parametrize("partitions", [1, 4, 16])
+    def test_partition_counts(self, partitions):
+        payload, buffers, _ = run_bcast(n_ranks=3, partitions=partitions)
+        for buf in buffers.values():
+            assert (buf == payload).all()
+
+
+class TestPipelining:
+    def test_pipelined_beats_store_and_forward(self):
+        """The partition pipeline must beat whole-buffer forwarding on a
+        chain for large, staggered payloads."""
+        n_ranks, nbytes, parts = 4, 4 << 20, 8
+        per_part_delay = (nbytes / parts) / 25e9  # one partition's wire time
+
+        _, _, finish_pipe = run_bcast(
+            n_ranks=n_ranks, partitions=parts, nbytes=nbytes,
+            delay_per_partition=per_part_delay,
+        )
+
+        # Store-and-forward baseline: recv whole buffer, then send it on.
+        world = MPIWorld(n_ranks=n_ranks)
+        finish_sf = {}
+
+        def node(world, rank):
+            comm = world.comm_world(rank)
+            if rank > 0:
+                yield from comm.recv(source=rank - 1, tag=1, nbytes=nbytes)
+            else:
+                yield world.env.timeout(parts * per_part_delay)  # compute
+            if rank < n_ranks - 1:
+                yield from comm.send(dest=rank + 1, tag=1, nbytes=nbytes)
+            finish_sf[rank] = world.env.now
+
+        for r in range(n_ranks):
+            world.launch(r, node(world, r))
+        world.run()
+
+        assert max(finish_pipe.values()) < 0.7 * max(finish_sf.values()), (
+            f"pipelined {max(finish_pipe.values()) * 1e6:.1f} us vs "
+            f"store-and-forward {max(finish_sf.values()) * 1e6:.1f} us"
+        )
+
+    def test_tail_trails_first_receiver_by_hops_not_buffers(self):
+        """With enough partitions each extra hop adds ~one partition
+        time, not a full buffer time.  (The root's own finish time is
+        earlier by construction: sends complete at injection.)"""
+        nbytes, parts = 4 << 20, 16
+        _, _, finish = run_bcast(n_ranks=4, partitions=parts, nbytes=nbytes)
+        buffer_time = nbytes / 25e9
+        receivers = [t for r, t in finish.items() if r != 0]
+        spread = max(receivers) - min(receivers)
+        # Two extra hops cost far less than one full buffer.
+        assert spread < 0.5 * buffer_time
+
+
+class TestValidation:
+    def test_invalid_partitioning_rejected(self):
+        world = MPIWorld(n_ranks=2)
+        comm = world.comm_world(0)
+        with pytest.raises(Exception):
+            PipelinedBcast(comm, partitions=3, nbytes=100)
+
+    def test_pready_on_non_root_rejected(self):
+        world = MPIWorld(n_ranks=2)
+        errors = []
+
+        def node(world, rank):
+            comm = world.comm_world(rank)
+            bcast = PipelinedBcast(comm, partitions=2, nbytes=128, root=0,
+                                   buffer=np.zeros(128, dtype=np.uint8))
+            yield from bcast.init()
+            yield from bcast.start()
+            if rank == 1:
+                try:
+                    yield from bcast.pready(0)
+                except Exception as exc:
+                    errors.append(type(exc).__name__)
+            if rank == 0:
+                for p in range(2):
+                    yield from bcast.pready(p)
+            yield from bcast.wait()
+
+        world.launch(0, node(world, 0))
+        world.launch(1, node(world, 1))
+        world.run()
+        assert errors == ["RequestStateError"]

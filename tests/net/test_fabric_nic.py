@@ -1,0 +1,222 @@
+"""Unit tests for NIC/VCI posting, wire serialization, and delivery."""
+
+import numpy as np
+import pytest
+
+from repro.net import MELUXINA, Fabric, Nic, Packet, PacketKind
+from repro.sim import Environment, Tracer
+
+
+def make_pair(n_vcis=1, params=MELUXINA):
+    env = Environment()
+    tracer = Tracer(env)
+    fabric = Fabric(env, params, tracer)
+    nics = [Nic(env, r, params, tracer, n_vcis=n_vcis) for r in (0, 1)]
+    for nic in nics:
+        fabric.register(nic)
+    return env, fabric, nics
+
+
+def test_packet_validation():
+    with pytest.raises(ValueError):
+        Packet(kind="bogus", src=0, dst=1)
+    with pytest.raises(ValueError):
+        Packet(kind=PacketKind.EAGER, src=0, dst=1, nbytes=-1)
+    data = np.zeros(4, dtype=np.uint8)
+    with pytest.raises(ValueError):
+        Packet(kind=PacketKind.EAGER, src=0, dst=1, nbytes=8, payload=data)
+
+
+def test_single_packet_arrival_time():
+    env, fabric, (n0, n1) = make_pair()
+    got = []
+    n1.set_handler(lambda pkt: got.append((pkt, env.now)))
+    p = MELUXINA
+
+    def sender(env):
+        pkt = Packet(kind=PacketKind.EAGER, src=0, dst=1, nbytes=8)
+        yield from n0.post(0, pkt, base_cost=p.post_overhead)
+
+    env.process(sender(env))
+    env.run()
+    assert len(got) == 1
+    pkt, t = got[0]
+    expected = (
+        p.post_overhead + p.wire_time(8) + p.latency + p.recv_overhead
+    )
+    assert t == pytest.approx(expected, rel=1e-9)
+
+
+def test_delivery_carries_payload():
+    env, fabric, (n0, n1) = make_pair()
+    got = []
+    n1.set_handler(lambda pkt: got.append(pkt))
+    data = np.arange(16, dtype=np.uint8)
+
+    def sender(env):
+        pkt = Packet(
+            kind=PacketKind.EAGER, src=0, dst=1, nbytes=16, payload=data.copy()
+        )
+        yield from n0.post(0, pkt, base_cost=1e-7)
+
+    env.process(sender(env))
+    env.run()
+    assert (got[0].payload == data).all()
+
+
+def test_wire_serializes_concurrent_messages():
+    """Two large messages posted simultaneously share the wire serially."""
+    params = MELUXINA
+    env, fabric, (n0, n1) = make_pair(n_vcis=2, params=params)
+    arrivals = []
+    n1.set_handler(lambda pkt: arrivals.append(env.now))
+    nbytes = 10**6
+
+    def sender(env, vci):
+        pkt = Packet(
+            kind=PacketKind.RDMA_DATA, src=0, dst=1, nbytes=nbytes, dst_vci=vci
+        )
+        yield from n0.post(vci, pkt, base_cost=1e-7)
+
+    env.process(sender(env, 0))
+    env.process(sender(env, 1))
+    env.run()
+    assert len(arrivals) == 2
+    gap = arrivals[1] - arrivals[0]
+    # Second message waits a full wire occupancy behind the first.
+    assert gap == pytest.approx(params.wire_time(nbytes), rel=1e-6)
+
+
+def test_vci_lock_serializes_posts_with_contention_penalty():
+    params = MELUXINA
+    env, fabric, (n0, n1) = make_pair(n_vcis=1, params=params)
+    n1.set_handler(lambda pkt: None)
+    done = []
+
+    def sender(env):
+        pkt = Packet(kind=PacketKind.EAGER, src=0, dst=1, nbytes=8)
+        yield from n0.post(0, pkt, base_cost=params.post_overhead)
+        done.append(env.now)
+
+    for _ in range(4):
+        env.process(sender(env))
+    env.run()
+    # All four posts serialized; later posts pay contention inflation, so
+    # the total exceeds 4 uncontended posts.
+    assert done[-1] > 4 * params.post_overhead
+
+
+def test_multiple_vcis_remove_lock_contention():
+    params = MELUXINA
+    env1, _, (a0, a1) = make_pair(n_vcis=1, params=params)
+    a1.set_handler(lambda pkt: None)
+    done_single = []
+
+    def sender1(env, nic):
+        pkt = Packet(kind=PacketKind.EAGER, src=0, dst=1, nbytes=8)
+        yield from nic.post(0, pkt, base_cost=params.post_overhead)
+        done_single.append(env.now)
+
+    for _ in range(8):
+        env1.process(sender1(env1, a0))
+    env1.run()
+
+    env2, _, (b0, b1) = make_pair(n_vcis=8, params=params)
+    b1.set_handler(lambda pkt: None)
+    done_multi = []
+
+    def sender2(env, nic, vci):
+        pkt = Packet(kind=PacketKind.EAGER, src=0, dst=1, nbytes=8, dst_vci=vci)
+        yield from nic.post(vci, pkt, base_cost=params.post_overhead)
+        done_multi.append(env.now)
+
+    for i in range(8):
+        env2.process(sender2(env2, b0, i))
+    env2.run()
+    # Posting completes much faster when every sender has its own VCI.
+    assert max(done_multi) < max(done_single) / 3
+
+
+def test_self_send_bypasses_wire():
+    env = Environment()
+    tracer = Tracer(env)
+    fabric = Fabric(env, MELUXINA, tracer)
+    nic = Nic(env, 0, MELUXINA, tracer)
+    fabric.register(nic)
+    got = []
+    nic.set_handler(lambda pkt: got.append(env.now))
+
+    def sender(env):
+        pkt = Packet(kind=PacketKind.CTRL, src=0, dst=0)
+        yield from nic.post(0, pkt, base_cost=1e-8)
+
+    env.process(sender(env))
+    env.run()
+    assert len(got) == 1
+    assert got[0] < MELUXINA.latency  # loopback is faster than the wire
+
+
+def test_unregistered_destination_raises():
+    env = Environment()
+    tracer = Tracer(env)
+    fabric = Fabric(env, MELUXINA, tracer)
+    nic = Nic(env, 0, MELUXINA, tracer)
+    fabric.register(nic)
+    nic.set_handler(lambda pkt: None)
+
+    def sender(env):
+        pkt = Packet(kind=PacketKind.CTRL, src=0, dst=9)
+        yield from nic.post(0, pkt, base_cost=1e-8)
+
+    env.process(sender(env))
+    with pytest.raises(ValueError, match="unregistered"):
+        env.run()
+
+
+def test_duplicate_rank_registration_rejected():
+    env = Environment()
+    tracer = Tracer(env)
+    fabric = Fabric(env, MELUXINA, tracer)
+    fabric.register(Nic(env, 0, MELUXINA, tracer))
+    with pytest.raises(ValueError):
+        fabric.register(Nic(env, 0, MELUXINA, tracer))
+
+
+def test_vci_wraps_modulo():
+    env = Environment()
+    tracer = Tracer(env)
+    nic = Nic(env, 0, MELUXINA, tracer, n_vcis=4)
+    assert nic.vci(5) is nic.vcis[1]
+    assert nic.vci(4) is nic.vcis[0]
+
+
+def test_invalid_vci_count():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Nic(env, 0, MELUXINA, Tracer(env), n_vcis=0)
+
+
+def test_fabric_counters():
+    env, fabric, (n0, n1) = make_pair()
+    n1.set_handler(lambda pkt: None)
+
+    def sender(env):
+        pkt = Packet(kind=PacketKind.EAGER, src=0, dst=1, nbytes=100)
+        yield from n0.post(0, pkt, base_cost=1e-8)
+
+    env.process(sender(env))
+    env.run()
+    assert fabric.packets_sent == 1
+    assert fabric.bytes_sent == 100
+
+
+def test_rx_cost_orders_protocols():
+    """bcopy receive (with unpack copy) costs more than short receive."""
+    env = Environment()
+    tracer = Tracer(env)
+    nic = Nic(env, 0, MELUXINA, tracer)
+    vci = nic.vcis[0]
+    short_cost = vci._rx_cost(Packet(kind=PacketKind.EAGER, src=0, dst=0, nbytes=512))
+    bcopy_cost = vci._rx_cost(Packet(kind=PacketKind.EAGER, src=0, dst=0, nbytes=4096))
+    ctrl_cost = vci._rx_cost(Packet(kind=PacketKind.CTS, src=0, dst=0))
+    assert bcopy_cost > short_cost > ctrl_cost

@@ -1,0 +1,99 @@
+"""Unit tests for composite condition events."""
+
+import pytest
+
+from repro.sim import Environment, SimulationError
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    t1 = env.timeout(1.0, value="a")
+    t2 = env.timeout(3.0, value="b")
+
+    def proc(env):
+        results = yield env.all_of([t1, t2])
+        return (env.now, sorted(results.values()))
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (3.0, ["a", "b"])
+
+
+def test_any_of_fires_on_first():
+    env = Environment()
+    t1 = env.timeout(1.0, value="fast")
+    t2 = env.timeout(10.0, value="slow")
+
+    def proc(env):
+        results = yield env.any_of([t1, t2])
+        return (env.now, list(results.values()))
+
+    p = env.process(proc(env))
+    env.run(until=p)
+    assert p.value == (1.0, ["fast"])
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+
+    def proc(env):
+        results = yield env.all_of([])
+        return results
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == {}
+
+
+def test_any_of_empty_fires_immediately():
+    env = Environment()
+
+    def proc(env):
+        results = yield env.any_of([])
+        return results
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == {}
+
+
+def test_all_of_with_already_processed_events():
+    env = Environment()
+    ev = env.event()
+    ev.succeed("done")
+    env.run()
+    t = env.timeout(1.0, value="late")
+
+    def proc(env):
+        results = yield env.all_of([ev, t])
+        return sorted(str(v) for v in results.values())
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == ["done", "late"]
+
+
+def test_all_of_failure_propagates():
+    env = Environment()
+    good = env.timeout(1.0)
+    bad = env.event()
+    bad.fail(ValueError("broken"))
+
+    def proc(env):
+        try:
+            yield env.all_of([good, bad])
+        except ValueError:
+            return "failed"
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == "failed"
+
+
+def test_mixed_environment_events_rejected():
+    env1 = Environment()
+    env2 = Environment()
+    t1 = env1.timeout(1.0)
+    t2 = env2.timeout(1.0)
+    with pytest.raises(SimulationError):
+        env1.all_of([t1, t2])

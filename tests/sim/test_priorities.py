@@ -1,0 +1,76 @@
+"""Event-priority semantics of the engine."""
+
+from repro.sim import Environment, Event, NORMAL, URGENT
+
+
+def test_urgent_processed_before_normal_at_same_time():
+    env = Environment()
+    order = []
+
+    normal = Event(env)
+    normal.callbacks.append(lambda e: order.append("normal"))
+    normal._ok = True
+    normal._value = None
+    env.schedule(normal, priority=NORMAL)
+
+    urgent = Event(env)
+    urgent.callbacks.append(lambda e: order.append("urgent"))
+    urgent._ok = True
+    urgent._value = None
+    env.schedule(urgent, priority=URGENT)
+
+    env.run()
+    assert order == ["urgent", "normal"]
+
+
+def test_insertion_order_breaks_priority_ties():
+    env = Environment()
+    order = []
+    for tag in ("a", "b", "c"):
+        ev = Event(env)
+        ev._ok = True
+        ev._value = None
+        ev.callbacks.append(lambda e, t=tag: order.append(t))
+        env.schedule(ev, priority=NORMAL)
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_earlier_time_beats_priority():
+    env = Environment()
+    order = []
+
+    late_urgent = Event(env)
+    late_urgent._ok = True
+    late_urgent._value = None
+    late_urgent.callbacks.append(lambda e: order.append("late-urgent"))
+    env.schedule(late_urgent, priority=URGENT, delay=2.0)
+
+    early_normal = Event(env)
+    early_normal._ok = True
+    early_normal._value = None
+    early_normal.callbacks.append(lambda e: order.append("early-normal"))
+    env.schedule(early_normal, priority=NORMAL, delay=1.0)
+
+    env.run()
+    assert order == ["early-normal", "late-urgent"]
+
+
+def test_process_kickstart_is_urgent():
+    """New processes begin before same-time NORMAL events."""
+    env = Environment()
+    order = []
+
+    ev = Event(env)
+    ev._ok = True
+    ev._value = None
+    ev.callbacks.append(lambda e: order.append("event"))
+    env.schedule(ev, priority=NORMAL)
+
+    def proc(env):
+        order.append("process")
+        yield env.timeout(0.0)
+
+    env.process(proc(env))
+    env.run()
+    assert order == ["process", "event"]

@@ -1,0 +1,47 @@
+"""Tests for thread->core binding policies."""
+
+import pytest
+
+from repro.threads import BindingPolicy, close_binding, spread_binding
+
+
+def test_close_binding_consecutive_cores():
+    b = close_binding(4)
+    assert [b.core_of(t) for t in range(4)] == [0, 1, 2, 3]
+    assert b.name == "close"
+
+
+def test_close_binding_with_offset():
+    b = close_binding(4, first_core=8)
+    assert [b.core_of(t) for t in range(4)] == [8, 9, 10, 11]
+
+
+def test_close_binding_not_oversubscribed_within_node():
+    b = close_binding(32, cores_per_node=64)
+    assert not b.oversubscribed
+
+
+def test_close_binding_wraps_when_oversubscribed():
+    b = close_binding(96, cores_per_node=64)
+    assert b.oversubscribed
+    assert b.core_of(64) == 0
+
+
+def test_spread_binding_spacing():
+    b = spread_binding(4, cores_per_node=64)
+    cores = [b.core_of(t) for t in range(4)]
+    assert cores == [0, 16, 32, 48]
+
+
+def test_placement_listing():
+    b = close_binding(2)
+    assert b.placement(2) == [(0, 0), (1, 1)]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        close_binding(0)
+    with pytest.raises(ValueError):
+        spread_binding(0)
+    with pytest.raises(ValueError):
+        BindingPolicy([])

@@ -1,0 +1,80 @@
+"""Tests for the Appendix-A compute-delay models."""
+
+import numpy as np
+import pytest
+
+from repro.threads import FixedDelayModel, GaussianComputeModel, NoDelayModel
+
+
+class TestNoDelay:
+    def test_always_zero(self):
+        m = NoDelayModel()
+        for p in range(8):
+            assert m.compute_time(0, p, 1 << 20, 4, 2) == 0.0
+
+
+class TestFixedDelay:
+    def test_only_last_partition_delayed(self):
+        m = FixedDelayModel(gamma=1e-10)  # 100 us/MB
+        n, theta = 4, 1
+        times = [m.compute_time(t, p, 1 << 20, n, theta)
+                 for t, p in zip(range(4), range(4))]
+        assert times[:3] == [0.0, 0.0, 0.0]
+        assert times[3] == pytest.approx(1e-10 * (1 << 20))
+
+    def test_delay_scales_with_partition_size(self):
+        m = FixedDelayModel(gamma=1e-10)
+        small = m.compute_time(0, 3, 1024, 4, 1)
+        big = m.compute_time(0, 3, 1 << 20, 4, 1)
+        assert big == pytest.approx(small * (1 << 20) / 1024)
+
+    def test_from_us_per_mb_conversion(self):
+        m = FixedDelayModel.from_us_per_mb(100.0)
+        assert m.gamma == pytest.approx(1e-10)
+        # 100 us/MB on a 1 MB partition = 100 us.
+        assert m.compute_time(0, 3, 10**6, 4, 1) == pytest.approx(100e-6)
+
+    def test_theta_moves_last_partition(self):
+        m = FixedDelayModel(gamma=1e-10)
+        # 2 threads x 4 theta -> last partition index 7.
+        assert m.compute_time(1, 7, 1024, 2, 4) > 0
+        assert m.compute_time(1, 6, 1024, 2, 4) == 0.0
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            FixedDelayModel(gamma=-1.0)
+
+
+class TestGaussian:
+    def test_mean_time_matches_mu(self):
+        rng = np.random.default_rng(1)
+        m = GaussianComputeModel(mu=1e-9, epsilon=0.04, delta=0.0, rng=rng)
+        times = [m.compute_time(0, 0, 10**6, 8, 1) for _ in range(4000)]
+        assert np.mean(times) == pytest.approx(1e-9 * 10**6, rel=0.01)
+
+    def test_sigma_definition(self):
+        m = GaussianComputeModel(mu=1.0, epsilon=0.04, delta=0.5)
+        assert m.sigma == pytest.approx(0.27)
+
+    def test_zero_noise_is_deterministic(self):
+        m = GaussianComputeModel(mu=2e-9, epsilon=0.0, delta=0.0)
+        assert m.compute_time(0, 0, 1000, 1, 1) == pytest.approx(2e-6)
+
+    def test_never_negative(self):
+        rng = np.random.default_rng(2)
+        m = GaussianComputeModel(mu=1e-9, epsilon=2.0, delta=2.0, rng=rng)
+        times = [m.compute_time(0, 0, 10**6, 1, 1) for _ in range(2000)]
+        assert min(times) >= 0.0
+
+    def test_reproducible_with_seeded_stream(self):
+        a = GaussianComputeModel(1e-9, 0.1, 0.0, np.random.default_rng(7))
+        b = GaussianComputeModel(1e-9, 0.1, 0.0, np.random.default_rng(7))
+        ta = [a.compute_time(0, p, 1000, 1, 1) for p in range(10)]
+        tb = [b.compute_time(0, p, 1000, 1, 1) for p in range(10)]
+        assert ta == tb
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianComputeModel(mu=-1.0)
+        with pytest.raises(ValueError):
+            GaussianComputeModel(mu=1.0, epsilon=-0.1)
