@@ -15,9 +15,25 @@ Quick start
 >>> result = run_benchmark(spec)
 >>> result.mean_us > 0
 True
+
+Application patterns (``repro.apps``)
+-------------------------------------
+Beyond the paper's two-rank harness, :mod:`repro.apps` runs N-rank
+application communication patterns — ``halo3d`` (3-D Cartesian 6-face
+ghost exchange), ``sweep3d`` (KBA wavefront), ``fft`` (all-to-all
+transpose) — under any registered approach, with Single/Uniform/
+Gaussian injected noise and JSON-persisted sweeps (``BENCH_apps.json``;
+CLI: ``python -m repro apps --pattern halo3d --ranks 8``).
+
+>>> from repro.apps import PatternConfig, run_pattern
+>>> cfg = PatternConfig(pattern="halo3d", approach="pt2pt_part",
+...                     n_ranks=8, n_threads=2, msg_bytes=1 << 14,
+...                     iterations=3, compute_us_per_mb=200.0)
+>>> run_pattern(cfg).mean_us > 0
+True
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["sim", "net", "mpi", "threads", "model", "bench", "figures",
-           "__version__"]
+           "apps", "__version__"]

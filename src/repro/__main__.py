@@ -1,11 +1,23 @@
-"""Command-line entry point: regenerate the paper's tables and figures.
+"""Command-line entry point.
 
-Usage::
+Two subcommands::
+
+    python -m repro figures [...]   # regenerate the paper's tables/figures
+    python -m repro apps [...]      # N-rank application patterns
+
+Invocations without a subcommand keep the historical behavior and run
+``figures``::
 
     python -m repro                 # quick grids
     python -m repro --full          # the paper's full size grids
     python -m repro --iters 30      # more iterations per point
     python -m repro --only fig5     # a single figure
+
+Application patterns (Halo3D / Sweep3D / FFT transpose)::
+
+    python -m repro apps --pattern halo3d --ranks 8 --approach pt2pt_part
+    python -m repro apps --pattern sweep3d --approach all --noise gaussian
+    python -m repro apps --pattern fft --size 1048576 --json results.json
 """
 
 from __future__ import annotations
@@ -31,10 +43,18 @@ _DRIVERS = {
     "fig8": fig8_earlybird,
 }
 
+#: Baseline approach for the η (speedup) report.
+_BASELINE = "pt2pt_single"
 
-def main(argv=None) -> int:
+
+def _figures_parser(top_level: bool = False) -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="python -m repro", description=__doc__
+        prog="python -m repro" if top_level else "python -m repro figures",
+        description="Regenerate the paper's tables and figures.",
+        epilog=(
+            "subcommands: 'figures' (this, the default) and 'apps' — "
+            "N-rank application patterns; see 'python -m repro apps --help'."
+        ) if top_level else None,
     )
     parser.add_argument("--full", action="store_true",
                         help="full size grids (slower)")
@@ -45,8 +65,10 @@ def main(argv=None) -> int:
         choices=sorted(_DRIVERS) + ["tables"],
         help="regenerate a single artifact",
     )
-    args = parser.parse_args(argv)
+    return parser
 
+
+def _run_figures(args) -> int:
     if args.only is None or args.only == "tables":
         print(tables.table1())
         print()
@@ -63,6 +85,135 @@ def main(argv=None) -> int:
         print(driver.report(data))
         print(f"[regenerated in {time.time() - t0:.1f}s]")
     return 0
+
+
+def _apps_parser() -> argparse.ArgumentParser:
+    from .apps import NOISE_MODELS, PATTERNS
+    from .bench import APPROACHES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro apps",
+        description="Run an N-rank application communication pattern.",
+    )
+    parser.add_argument("--pattern", required=True,
+                        choices=sorted(PATTERNS),
+                        help="application pattern")
+    parser.add_argument("--ranks", type=int, default=8,
+                        help="number of MPI ranks (default 8)")
+    parser.add_argument("--threads", type=int, default=4,
+                        help="threads per rank (default 4)")
+    parser.add_argument("--approach", default="pt2pt_part",
+                        choices=sorted(APPROACHES) + ["all"],
+                        help="communication approach, or 'all'")
+    parser.add_argument("--size", type=int, default=256 << 10,
+                        help="bytes per link message (default 256 KiB)")
+    parser.add_argument("--iters", type=int, default=10,
+                        help="measured iterations per point (default 10)")
+    parser.add_argument("--warmup", type=int, default=1,
+                        help="warm-up iterations (default 1)")
+    parser.add_argument("--compute-us-per-mb", type=float, default=200.0,
+                        help="per-partition compute rate in µs/MB "
+                             "(default 200, overlap-friendly; 0 disables)")
+    parser.add_argument("--noise", default="none",
+                        choices=sorted(NOISE_MODELS),
+                        help="injected-noise shape (Temuçin et al.)")
+    parser.add_argument("--noise-us", type=float, default=0.0,
+                        help="noise amplitude in µs per thread quantum")
+    parser.add_argument("--noise-sigma-us", type=float, default=0.0,
+                        help="gaussian noise std-dev in µs")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root RNG seed (default 0)")
+    parser.add_argument("--vcis", type=int, default=1,
+                        help="VCIs per rank (MPIR_CVAR_NUM_VCIS, default 1)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="persistence path (default BENCH_apps.json)")
+    parser.add_argument("--no-json", action="store_true",
+                        help="skip writing the sweep JSON")
+    return parser
+
+
+def _run_apps(args) -> int:
+    from .apps import (
+        DEFAULT_JSON_PATH,
+        PatternConfig,
+        PatternSweep,
+        build_pattern,
+    )
+    from .bench import APPROACHES
+    from .mpi import Cvars
+
+    approaches = (
+        sorted(APPROACHES) if args.approach == "all" else [args.approach]
+    )
+    # Always include the baseline so the η report is available.
+    run_list = list(approaches)
+    if _BASELINE not in run_list:
+        run_list.append(_BASELINE)
+
+    sweep = PatternSweep()
+    results = {}
+    for name in run_list:
+        try:
+            config = PatternConfig(
+                pattern=args.pattern,
+                approach=name,
+                n_ranks=args.ranks,
+                n_threads=args.threads,
+                msg_bytes=args.size,
+                iterations=args.iters,
+                warmup=args.warmup,
+                compute_us_per_mb=args.compute_us_per_mb,
+                noise=args.noise,
+                noise_us=args.noise_us,
+                noise_sigma_us=args.noise_sigma_us,
+                seed=args.seed,
+                cvars=Cvars(num_vcis=args.vcis),
+            )
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        results[name] = sweep.run(config)
+
+    first = results[run_list[0]]
+    print(build_pattern(first.config).describe())
+    print(
+        f"ranks={args.ranks} threads={args.threads} "
+        f"size={args.size}B noise={args.noise} "
+        f"compute={args.compute_us_per_mb:g}us/MB "
+        f"iters={args.iters}(+{args.warmup} warmup) seed={args.seed}"
+    )
+    print()
+    header = (f"{'approach':>20} | {'mean time':>14} | {'90% CI':>9} | "
+              f"{'perceived bw':>13} | {'eta':>6}")
+    print(header)
+    print("-" * len(header))
+    base_mean = results[_BASELINE].mean
+    for name in run_list:
+        r = results[name]
+        eta = base_mean / r.mean if r.mean else float("inf")
+        print(
+            f"{name:>20} | {r.mean_us:11.2f} us | "
+            f"{r.stats.ci_half * 1e6:6.2f} us | "
+            f"{r.bandwidth_gbs:8.3f} GB/s | {eta:6.2f}"
+        )
+    print(f"\n(eta = {_BASELINE} mean / approach mean; > 1 means faster "
+          f"than the bulk-synchronous baseline)")
+
+    if not args.no_json:
+        path = args.json if args.json else DEFAULT_JSON_PATH
+        target = sweep.save(path)
+        print(f"[sweep persisted to {target}]")
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "apps":
+        return _run_apps(_apps_parser().parse_args(argv[1:]))
+    if argv and argv[0] == "figures":
+        return _run_figures(_figures_parser().parse_args(argv[1:]))
+    # No subcommand: historical figure-regeneration behavior.
+    return _run_figures(_figures_parser(top_level=True).parse_args(argv))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,55 @@
+"""FFT transpose: all-to-all block redistribution rounds.
+
+The communication kernel of a distributed pencil FFT: after the local
+1-D transforms, every rank re-distributes its slab — one block to every
+other rank (a personalized all-to-all, ``MPI_Alltoall`` over R·(R−1)
+point-to-point links).  One iteration is one transpose round.
+
+This is the densest pattern of the suite (every rank is both sender and
+receiver on 2·(R−1) links), which stresses exactly what the paper's
+congestion study (Fig. 5) isolates on two ranks: many concurrent
+messages sharing each NIC's VCIs.  With a partitioned approach each
+block streams out partition-by-partition as its thread finishes packing
+it, so the transpose overlaps the pack compute instead of serializing
+behind a bulk thread barrier.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .base import Link, Pattern, PatternConfig, align_bytes, register_pattern
+
+__all__ = ["FFTTranspose"]
+
+
+@register_pattern
+class FFTTranspose(Pattern):
+    name = "fft"
+
+    def __init__(self, config: PatternConfig):
+        super().__init__(config)
+        self.block_bytes = align_bytes(config.msg_bytes, config.n_threads)
+
+    def links(self) -> List[Link]:
+        out: List[Link] = []
+        for src in range(self.config.n_ranks):
+            for dst in range(self.config.n_ranks):
+                if src == dst:
+                    continue
+                out.append(
+                    Link(
+                        src=src,
+                        dst=dst,
+                        nbytes=self.block_bytes,
+                        key=f"fft:{src}->{dst}",
+                    )
+                )
+        return out
+
+    def describe(self) -> str:
+        n = self.config.n_ranks
+        return (
+            f"fft all-to-all transpose over {n} ranks, "
+            f"{self.block_bytes} B/block, {n * (n - 1)} links"
+        )

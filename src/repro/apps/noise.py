@@ -1,0 +1,167 @@
+"""Noise injection for the application patterns (Temuçin et al., ICPP'22).
+
+The Halo3D/Sweep3D micro-benchmark suite perturbs the per-thread kernel
+time with three injected-noise shapes before partitions are marked
+ready:
+
+* **Single** — the whole noise budget lands on one designated thread
+  (a noisy core); the other threads are unperturbed.  This is the worst
+  case for bulk-synchronized approaches, which wait for the slowest
+  thread, and the best showcase for partitioned/early-bird overlap.
+* **Uniform** — every thread draws an independent delay from
+  ``U(0, 2·amplitude)`` (mean ``amplitude``).
+* **Gaussian** — every thread draws from ``N(amplitude, sigma)``,
+  truncated at zero.
+
+A noise model composes with any existing
+:class:`~repro.threads.compute.ComputeModel` through
+:class:`NoisyComputeModel`: the base model supplies the useful work per
+partition, the noise model adds the injected perturbation on top.  All
+draws come from a caller-supplied seeded generator, so runs stay
+deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+import numpy as np
+
+from ..threads import ComputeModel
+
+__all__ = [
+    "NoiseModel",
+    "NoNoise",
+    "SingleNoise",
+    "UniformNoise",
+    "GaussianNoise",
+    "NoisyComputeModel",
+    "NOISE_MODELS",
+    "make_noise",
+]
+
+
+class NoiseModel:
+    """Interface: injected delay (seconds) per thread compute quantum."""
+
+    #: Registry key.
+    name = "abstract"
+
+    def delay(
+        self, thread_id: int, n_threads: int, rng: np.random.Generator
+    ) -> float:
+        """Injected delay for one partition's compute on ``thread_id``."""
+        raise NotImplementedError
+
+
+class NoNoise(NoiseModel):
+    """No injected noise (the deterministic baseline)."""
+
+    name = "none"
+
+    def __init__(self, amplitude: float = 0.0, sigma: float = 0.0):
+        pass
+
+    def delay(self, thread_id, n_threads, rng):
+        return 0.0
+
+
+class SingleNoise(NoiseModel):
+    """The full noise amplitude on one victim thread, zero elsewhere.
+
+    Parameters
+    ----------
+    amplitude:
+        Injected delay in seconds for the victim thread.
+    victim:
+        The perturbed thread id (reduced modulo the team size).
+    """
+
+    name = "single"
+
+    def __init__(self, amplitude: float, sigma: float = 0.0, victim: int = 0):
+        if amplitude < 0:
+            raise ValueError("amplitude must be >= 0")
+        self.amplitude = amplitude
+        self.victim = victim
+
+    def delay(self, thread_id, n_threads, rng):
+        if thread_id == self.victim % n_threads:
+            return self.amplitude
+        return 0.0
+
+
+class UniformNoise(NoiseModel):
+    """Per-thread delay drawn from ``U(0, 2·amplitude)`` (mean = amplitude)."""
+
+    name = "uniform"
+
+    def __init__(self, amplitude: float, sigma: float = 0.0):
+        if amplitude < 0:
+            raise ValueError("amplitude must be >= 0")
+        self.amplitude = amplitude
+
+    def delay(self, thread_id, n_threads, rng):
+        if self.amplitude == 0:
+            return 0.0
+        return float(rng.uniform(0.0, 2.0 * self.amplitude))
+
+
+class GaussianNoise(NoiseModel):
+    """Per-thread delay drawn from ``N(amplitude, sigma)``, truncated ≥ 0."""
+
+    name = "gaussian"
+
+    def __init__(self, amplitude: float, sigma: float = 0.0):
+        if amplitude < 0 or sigma < 0:
+            raise ValueError("amplitude and sigma must be >= 0")
+        self.amplitude = amplitude
+        self.sigma = sigma
+
+    def delay(self, thread_id, n_threads, rng):
+        if self.amplitude == 0 and self.sigma == 0:
+            return 0.0
+        return max(0.0, float(rng.normal(self.amplitude, self.sigma)))
+
+
+#: Registry: noise key -> class.
+NOISE_MODELS: Dict[str, Type[NoiseModel]] = {
+    cls.name: cls for cls in (NoNoise, SingleNoise, UniformNoise, GaussianNoise)
+}
+
+
+def make_noise(name: str, amplitude: float, sigma: float = 0.0) -> NoiseModel:
+    """Build a registered noise model from its key and parameters."""
+    if name not in NOISE_MODELS:
+        raise KeyError(
+            f"unknown noise model {name!r}; choose from {sorted(NOISE_MODELS)}"
+        )
+    return NOISE_MODELS[name](amplitude, sigma)
+
+
+class NoisyComputeModel(ComputeModel):
+    """A base compute model with injected noise layered on top.
+
+    ``compute_time`` is the base model's useful work plus the noise
+    model's injected delay for the calling thread, drawn from the given
+    seeded generator.
+    """
+
+    def __init__(
+        self,
+        base: ComputeModel,
+        noise: NoiseModel,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.base = base
+        self.noise = noise
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def compute_time(self, thread_id, partition, part_bytes, n_threads, theta):
+        useful = self.base.compute_time(
+            thread_id, partition, part_bytes, n_threads, theta
+        )
+        return useful + self.noise.delay(thread_id, n_threads, self.rng)
+
+    def reset(self) -> None:
+        self.base.reset()

@@ -1,0 +1,158 @@
+"""Pattern sweeps with JSON persistence (the ``BENCH_apps.json`` feed).
+
+A :class:`PatternSweep` collects :class:`~repro.apps.base.PatternResult`
+points across patterns × approaches × sizes × noise shapes, answers
+cross-approach queries (speedup vs a baseline), and round-trips through
+JSON so app-pattern runs feed the repo's performance trajectory the same
+way the figure benchmarks do.
+
+The serialized form captures the full :class:`PatternConfig` — including
+the machine model (:class:`~repro.net.params.SystemParams`) and runtime
+knobs (:class:`~repro.mpi.cvars.Cvars`), both flat dataclasses — plus
+the raw per-iteration times, so statistics are recomputed on load rather
+than trusted from the file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from ..bench.stats import summarize
+from ..mpi import Cvars
+from ..net import SystemParams
+from .base import PatternConfig, PatternResult, run_pattern
+
+__all__ = ["PatternSweep", "DEFAULT_JSON_PATH", "sweep_patterns"]
+
+#: Default persistence target (picked up by the perf trajectory).
+DEFAULT_JSON_PATH = "BENCH_apps.json"
+
+_SCHEMA = "repro.apps.sweep/v1"
+
+
+class PatternSweep:
+    """Results keyed by their full (frozen, hashable) config.
+
+    Every config field is identity: two runs differing only in, say,
+    ``noise_us`` or ``seed`` are distinct sweep points.  Address points
+    exactly with :meth:`get` or by field filters with :meth:`find`.
+    """
+
+    def __init__(self) -> None:
+        self._results: Dict[PatternConfig, PatternResult] = {}
+
+    # -- collection ----------------------------------------------------------
+    def add(self, result: PatternResult) -> None:
+        self._results[result.config] = result
+
+    def run(self, config: PatternConfig) -> PatternResult:
+        """Run one point and record it."""
+        result = run_pattern(config)
+        self.add(result)
+        return result
+
+    def get(self, config: PatternConfig) -> PatternResult:
+        """The result recorded for exactly this config."""
+        return self._results[config]
+
+    def find(self, **fields) -> List[PatternResult]:
+        """All results whose config matches every given field value,
+        e.g. ``sweep.find(pattern="halo3d", approach="pt2pt_part")``."""
+        return [
+            r
+            for c, r in self._results.items()
+            if all(getattr(c, name) == value for name, value in fields.items())
+        ]
+
+    def results(self) -> List[PatternResult]:
+        """All results in insertion order."""
+        return list(self._results.values())
+
+    def patterns(self) -> List[str]:
+        return sorted({c.pattern for c in self._results})
+
+    def approaches(self, pattern: Optional[str] = None) -> List[str]:
+        return sorted(
+            {
+                c.approach
+                for c in self._results
+                if pattern is None or c.pattern == pattern
+            }
+        )
+
+    def speedup(
+        self, config: PatternConfig, baseline: str = "pt2pt_single"
+    ) -> float:
+        """η = baseline mean / this config's mean (same point otherwise)."""
+        base = self.get(dataclasses.replace(config, approach=baseline))
+        subj = self.get(config)
+        if subj.mean == 0:
+            return float("inf")
+        return base.mean / subj.mean
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    # -- persistence ----------------------------------------------------------
+    def to_json(self) -> dict:
+        """A JSON-serializable snapshot of every recorded point."""
+        records = []
+        for result in self._results.values():
+            # asdict recurses into the nested params/cvars dataclasses.
+            config = dataclasses.asdict(result.config)
+            records.append(
+                {
+                    "config": config,
+                    "times": list(result.times),
+                    "bytes_per_iteration": result.bytes_per_iteration,
+                    "n_links": result.n_links,
+                }
+            )
+        return {"schema": _SCHEMA, "results": records}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "PatternSweep":
+        """Rebuild a sweep from :meth:`to_json` output (stats recomputed)."""
+        if payload.get("schema") != _SCHEMA:
+            raise ValueError(
+                f"unrecognized sweep schema {payload.get('schema')!r}"
+            )
+        sweep = cls()
+        for record in payload["results"]:
+            config_dict = dict(record["config"])
+            config_dict["params"] = SystemParams(**config_dict["params"])
+            config_dict["cvars"] = Cvars(**config_dict["cvars"])
+            config = PatternConfig(**config_dict)
+            times = [float(t) for t in record["times"]]
+            sweep.add(
+                PatternResult(
+                    config=config,
+                    times=times,
+                    stats=summarize(times),
+                    bytes_per_iteration=int(record["bytes_per_iteration"]),
+                    n_links=int(record["n_links"]),
+                )
+            )
+        return sweep
+
+    def save(self, path: str | Path = DEFAULT_JSON_PATH) -> Path:
+        """Write the sweep to ``path`` (default ``BENCH_apps.json``)."""
+        target = Path(path)
+        target.write_text(json.dumps(self.to_json(), indent=2) + "\n")
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path = DEFAULT_JSON_PATH) -> "PatternSweep":
+        """Read a sweep previously written by :meth:`save`."""
+        return cls.from_json(json.loads(Path(path).read_text()))
+
+
+def sweep_patterns(configs: Iterable[PatternConfig]) -> PatternSweep:
+    """Run every config into one sweep."""
+    sweep = PatternSweep()
+    for config in configs:
+        sweep.run(config)
+    return sweep

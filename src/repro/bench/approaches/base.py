@@ -75,7 +75,18 @@ class ApproachConfig:
 
 
 class Approach:
-    """Base class: no-op hooks; subclasses override what they use."""
+    """Base class: no-op hooks; subclasses override what they use.
+
+    An approach instance drives one sender→receiver *link*.  By default
+    that is the paper's two-rank benchmark (world ranks 0 → 1 over
+    ``MPI_COMM_WORLD``), but the :mod:`repro.apps` patterns reuse the
+    same approaches over arbitrary rank pairs by passing per-link pair
+    communicators whose group is ordered ``(sender, receiver)`` — comm
+    rank 0 is always the sender and comm rank 1 the receiver, which is
+    what the concrete subclasses' peer arguments rely on.  ``tag`` keys
+    this link's payload traffic and ``win_key`` namespaces its RMA
+    windows, so many links can coexist in one world.
+    """
 
     #: Registry key and display name (paper's legend label).
     name = "abstract"
@@ -85,14 +96,24 @@ class Approach:
     requires_am = False
 
     def __init__(self, world: MPIWorld, config: ApproachConfig,
-                 sender_rank: int = 0, receiver_rank: int = 1):
+                 sender_rank: int = 0, receiver_rank: int = 1,
+                 s_comm: Optional[Comm] = None,
+                 r_comm: Optional[Comm] = None,
+                 tag: int = BENCH_TAG,
+                 win_key: Optional[str] = None):
         self.world = world
         self.config = config
         self.env = world.env
         self.sender_rank = sender_rank
         self.receiver_rank = receiver_rank
-        self.s_comm: Comm = world.comm_world(sender_rank)
-        self.r_comm: Comm = world.comm_world(receiver_rank)
+        self.s_comm: Comm = (
+            s_comm if s_comm is not None else world.comm_world(sender_rank)
+        )
+        self.r_comm: Comm = (
+            r_comm if r_comm is not None else world.comm_world(receiver_rank)
+        )
+        self.tag = tag
+        self.win_key = win_key
         self.send_buffer: Optional[np.ndarray] = None
         self.recv_buffer: Optional[np.ndarray] = None
         if world.cvars.verify_payloads:
@@ -165,6 +186,13 @@ class Approach:
         yield  # pragma: no cover
 
     # ------------------------------------------------------------------
+    def win_pair_key(self, index: int) -> Optional[str]:
+        """Pairing key for RMA window ``index`` of this link (both sides
+        must derive the same key); None selects legacy seq pairing."""
+        if self.win_key is None:
+            return None
+        return f"{self.win_key}:w{index}"
+
     def verify(self) -> bool:
         """Payload integrity check (verify mode only)."""
         if self.send_buffer is None or self.recv_buffer is None:

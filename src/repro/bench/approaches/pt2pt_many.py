@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from .base import BENCH_TAG, Approach
+from .base import Approach
 
 __all__ = ["Pt2PtMany"]
 
@@ -40,7 +40,7 @@ class Pt2PtMany(Approach):
                     p * cfg.part_bytes : (p + 1) * cfg.part_bytes
                 ]
             req = comm.send_init(
-                dest=1, tag=BENCH_TAG + p, nbytes=cfg.part_bytes, data=data
+                dest=1, tag=self.tag + p, nbytes=cfg.part_bytes, data=data
             )
             self._s_reqs[p] = req
 
@@ -64,7 +64,7 @@ class Pt2PtMany(Approach):
                     p * cfg.part_bytes : (p + 1) * cfg.part_bytes
                 ]
             req = comm.recv_init(
-                source=0, tag=BENCH_TAG + p, nbytes=cfg.part_bytes, buffer=buf
+                source=0, tag=self.tag + p, nbytes=cfg.part_bytes, buffer=buf
             )
             self._r_reqs[p] = req
 

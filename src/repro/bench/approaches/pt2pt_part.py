@@ -16,7 +16,7 @@ Two registry entries share this implementation:
 
 from __future__ import annotations
 
-from .base import BENCH_TAG, Approach
+from .base import Approach
 
 __all__ = ["Pt2PtPart", "Pt2PtPartOld"]
 
@@ -31,7 +31,7 @@ class Pt2PtPart(Approach):
         cfg = self.config
         self._sreq = yield from self.s_comm.psend_init(
             dest=1,
-            tag=BENCH_TAG,
+            tag=self.tag,
             partitions=cfg.n_parts,
             nbytes=cfg.total_bytes,
             data=self.send_buffer,
@@ -55,7 +55,7 @@ class Pt2PtPart(Approach):
         cfg = self.config
         self._rreq = yield from self.r_comm.precv_init(
             source=0,
-            tag=BENCH_TAG,
+            tag=self.tag,
             partitions=cfg.n_parts,
             nbytes=cfg.total_bytes,
             buffer=self.recv_buffer,

@@ -9,7 +9,7 @@ which is why it wins at small sizes.
 
 from __future__ import annotations
 
-from .base import BENCH_TAG, Approach
+from .base import Approach
 
 __all__ = ["Pt2PtSingle"]
 
@@ -20,7 +20,7 @@ class Pt2PtSingle(Approach):
 
     def s_init(self):
         self._sreq = self.s_comm.send_init(
-            dest=1, tag=BENCH_TAG, nbytes=self.config.total_bytes,
+            dest=1, tag=self.tag, nbytes=self.config.total_bytes,
             data=self.send_buffer,
         )
         return
@@ -34,7 +34,7 @@ class Pt2PtSingle(Approach):
 
     def r_init(self):
         self._rreq = self.r_comm.recv_init(
-            source=0, tag=BENCH_TAG, nbytes=self.config.total_bytes,
+            source=0, tag=self.tag, nbytes=self.config.total_bytes,
             buffer=self.recv_buffer,
         )
         return

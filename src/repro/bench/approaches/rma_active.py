@@ -32,8 +32,11 @@ class _RmaActiveBase(Approach):
             # Table 1 lists MPI_Comm_dup for the single-window variant.
             yield from self.s_comm.dup(key=-1)
         self._s_wins = []
-        for _ in range(self._n_windows()):
-            win = yield from win_create(self.s_comm, self.config.total_bytes)
+        for i in range(self._n_windows()):
+            win = yield from win_create(
+                self.s_comm, self.config.total_bytes,
+                key=self.win_pair_key(i),
+            )
             self._s_wins.append(win)
 
     def s_start(self):
@@ -62,9 +65,10 @@ class _RmaActiveBase(Approach):
         if self._n_windows() == 1:
             yield from self.r_comm.dup(key=-1)
         self._r_wins = []
-        for _ in range(self._n_windows()):
+        for i in range(self._n_windows()):
             win = yield from win_create(
-                self.r_comm, self.config.total_bytes, self.recv_buffer
+                self.r_comm, self.config.total_bytes, self.recv_buffer,
+                key=self.win_pair_key(i),
             )
             self._r_wins.append(win)
 

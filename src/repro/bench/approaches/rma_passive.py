@@ -44,8 +44,11 @@ class _RmaPassiveBase(Approach):
         # MPI_Win_lock.  The same dup key on both sides pairs them.
         self._s_token_comm = yield from self.s_comm.dup(key=-1)
         self._s_wins = []
-        for _ in range(self._n_windows()):
-            win = yield from win_create(self.s_comm, self.config.total_bytes)
+        for i in range(self._n_windows()):
+            win = yield from win_create(
+                self.s_comm, self.config.total_bytes,
+                key=self.win_pair_key(i),
+            )
             yield from win.lock(1, assertion=MODE_NOCHECK)
             self._s_wins.append(win)
 
@@ -89,9 +92,10 @@ class _RmaPassiveBase(Approach):
     def r_init(self):
         self._r_token_comm = yield from self.r_comm.dup(key=-1)
         self._r_wins = []
-        for _ in range(self._n_windows()):
+        for i in range(self._n_windows()):
             win = yield from win_create(
-                self.r_comm, self.config.total_bytes, self.recv_buffer
+                self.r_comm, self.config.total_bytes, self.recv_buffer,
+                key=self.win_pair_key(i),
             )
             self._r_wins.append(win)
 

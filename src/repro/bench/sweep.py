@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -13,16 +14,26 @@ __all__ = ["size_grid", "sweep_sizes", "sweep_approaches", "SweepResult"]
 def size_grid(
     min_bytes: int,
     max_bytes: int,
-    points_per_decade: int = 3,
+    points_per_decade: Optional[int] = None,
     multiple_of: int = 1,
 ) -> List[int]:
     """Logarithmic size grid, each entry rounded to ``multiple_of``.
 
     Power-of-two based: returns sizes ``multiple_of * 2^k`` covering
-    [min_bytes, max_bytes] (``points_per_decade`` is accepted for
-    API symmetry but the grid is per-octave, matching the paper's
-    log-scale x axes).
+    [min_bytes, max_bytes], matching the paper's log-scale x axes.
+
+    .. deprecated:: 1.1
+        ``points_per_decade`` was never honored — the grid is strictly
+        per-octave.  Passing it now raises a :class:`DeprecationWarning`
+        and still has no effect; it will be removed in a future release.
     """
+    if points_per_decade is not None:
+        warnings.warn(
+            "size_grid(points_per_decade=...) has no effect: the grid is "
+            "per-octave (powers of two); the parameter will be removed",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     if min_bytes < 1 or max_bytes < min_bytes:
         raise ValueError("need 1 <= min_bytes <= max_bytes")
     if multiple_of < 1:

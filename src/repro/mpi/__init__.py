@@ -36,12 +36,15 @@ from .request import PersistentRequest, Request
 from .rma import LOCK_EXCLUSIVE, LOCK_SHARED, MODE_NOCHECK, Window
 from .runtime import PART_TAG_BASE, TAG_UB, RankRuntime
 from .status import ANY_SOURCE, ANY_TAG, Status
+from .topology import CartTopology, dims_create
 from .world import MPIWorld
 
 __all__ = [
     "MPIWorld",
     "Comm",
     "RankRuntime",
+    "CartTopology",
+    "dims_create",
     "Cvars",
     "VCI_METHOD_COMM",
     "VCI_METHOD_TAG_RR",

@@ -374,24 +374,39 @@ class Window:
         return f"<Window id={self.win_id} rank={self.rt.rank} vci={self.vci}>"
 
 
-def win_create(comm: Comm, nbytes: int, buffer: Optional[np.ndarray] = None):
+def win_create(comm: Comm, nbytes: int, buffer: Optional[np.ndarray] = None,
+               key: Optional[str] = None):
     """Generator: collectively create a window over ``nbytes`` of memory.
 
-    Must be called by every rank of ``comm`` in the same order.  Includes
-    the synchronizing barrier that ``MPI_Win_create`` implies.
+    Without ``key``, every rank of ``comm`` must call in the same order
+    (windows pair by per-rank creation sequence, like a plain
+    ``MPI_Win_create`` job with identical rank programs).  With a
+    ``key``, the window id is agreed through a world-level table keyed by
+    the string, so ranks whose window-creation orders differ (e.g. one
+    window per topology link) still pair correctly — the analogue of
+    creating the window on a tagged sub-communicator.  Includes the
+    synchronizing barrier that ``MPI_Win_create`` implies.
     """
     world = comm.rt.world
     if not hasattr(world, "_win_seq"):
         world._win_seq = {}
         world._win_table = {}
+        world._win_key_table = {}
         world._next_win = 0
-    seq = world._win_seq.get(comm.rt.rank, 0)
-    world._win_seq[comm.rt.rank] = seq + 1
-    win_id = world._win_table.get(seq)
-    if win_id is None:
-        win_id = world._next_win
-        world._next_win += 1
-        world._win_table[seq] = win_id
+    if key is not None:
+        win_id = world._win_key_table.get(key)
+        if win_id is None:
+            win_id = world._next_win
+            world._next_win += 1
+            world._win_key_table[key] = win_id
+    else:
+        seq = world._win_seq.get(comm.rt.rank, 0)
+        world._win_seq[comm.rt.rank] = seq + 1
+        win_id = world._win_table.get(seq)
+        if win_id is None:
+            win_id = world._next_win
+            world._next_win += 1
+            world._win_table[seq] = win_id
     win = Window(comm, win_id, nbytes, buffer)
     yield from comm.barrier()
     return win

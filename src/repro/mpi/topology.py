@@ -1,0 +1,135 @@
+"""Process topologies: Cartesian decompositions for the app patterns.
+
+A small, deterministic stand-in for ``MPI_Dims_create`` /
+``MPI_Cart_create`` / ``MPI_Cart_shift``: the :mod:`repro.apps` patterns
+lay ranks out on 1-/2-/3-D grids and need the rank ↔ coordinate mapping
+and neighbor shifts, without any wire traffic (topologies are metadata
+in MPICH too unless reorder is requested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["dims_create", "CartTopology"]
+
+
+def dims_create(n_ranks: int, ndims: int) -> Tuple[int, ...]:
+    """Balanced factorization of ``n_ranks`` over ``ndims`` dimensions.
+
+    Mirrors ``MPI_Dims_create``'s contract: the product of the returned
+    dims equals ``n_ranks`` and the dims are as close to each other as
+    possible, sorted non-increasing (the MPI standard's ordering).
+    """
+    if n_ranks < 1 or ndims < 1:
+        raise ValueError("need n_ranks >= 1 and ndims >= 1")
+    dims = [1] * ndims
+    remaining = n_ranks
+    # Peel prime factors largest-first onto the currently smallest dim.
+    factors: List[int] = []
+    f = 2
+    while f * f <= remaining:
+        while remaining % f == 0:
+            factors.append(f)
+            remaining //= f
+        f += 1
+    if remaining > 1:
+        factors.append(remaining)
+    for factor in sorted(factors, reverse=True):
+        dims[dims.index(min(dims))] *= factor
+    return tuple(sorted(dims, reverse=True))
+
+
+@dataclass(frozen=True)
+class CartTopology:
+    """An ``ndims``-dimensional Cartesian layout of ``prod(dims)`` ranks.
+
+    Row-major rank ordering (last dimension varies fastest), matching
+    ``MPI_Cart_rank``'s default.
+    """
+
+    dims: Tuple[int, ...]
+    periodic: Tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        if not self.dims or any(d < 1 for d in self.dims):
+            raise ValueError(f"dims must be positive: {self.dims}")
+        if len(self.periodic) != len(self.dims):
+            raise ValueError("periodic must match dims in length")
+
+    @classmethod
+    def create(
+        cls,
+        n_ranks: int,
+        ndims: int,
+        periodic: bool | Sequence[bool] = False,
+    ) -> "CartTopology":
+        """``MPI_Dims_create`` + ``MPI_Cart_create`` in one step."""
+        dims = dims_create(n_ranks, ndims)
+        if isinstance(periodic, bool):
+            per = (periodic,) * ndims
+        else:
+            per = tuple(periodic)
+        return cls(dims, per)
+
+    @property
+    def ndims(self) -> int:
+        return len(self.dims)
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for d in self.dims:
+            n *= d
+        return n
+
+    def coords(self, rank: int) -> Tuple[int, ...]:
+        """``MPI_Cart_coords``: rank → coordinates."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range [0, {self.size})")
+        out = []
+        for d in reversed(self.dims):
+            out.append(rank % d)
+            rank //= d
+        return tuple(reversed(out))
+
+    def rank_of(self, coords: Sequence[int]) -> int:
+        """``MPI_Cart_rank``: coordinates → rank (periodic wrap applied)."""
+        if len(coords) != self.ndims:
+            raise ValueError("coordinate dimensionality mismatch")
+        rank = 0
+        for dim, (c, d, per) in enumerate(
+            zip(coords, self.dims, self.periodic)
+        ):
+            if per:
+                c %= d
+            elif not 0 <= c < d:
+                raise ValueError(
+                    f"coordinate {c} out of range for non-periodic dim "
+                    f"{dim} of extent {d}"
+                )
+            rank = rank * d + c
+        return rank
+
+    def shift(self, rank: int, dim: int, disp: int) -> Optional[int]:
+        """``MPI_Cart_shift``: the neighbor ``disp`` steps along ``dim``,
+        or ``None`` at a non-periodic boundary (``MPI_PROC_NULL``)."""
+        if not 0 <= dim < self.ndims:
+            raise ValueError(f"dim {dim} out of range")
+        coords = list(self.coords(rank))
+        coords[dim] += disp
+        if not self.periodic[dim] and not 0 <= coords[dim] < self.dims[dim]:
+            return None
+        return self.rank_of(coords)
+
+    def neighbors(self, rank: int) -> List[Tuple[int, int, int]]:
+        """All face neighbors of ``rank`` as ``(dim, disp, neighbor)``
+        triples with ``disp`` in ``(-1, +1)``, self-links excluded."""
+        out = []
+        for dim in range(self.ndims):
+            for disp in (-1, 1):
+                nbr = self.shift(rank, dim, disp)
+                if nbr is not None and nbr != rank:
+                    out.append((dim, disp, nbr))
+        return out

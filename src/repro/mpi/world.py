@@ -83,6 +83,8 @@ class MPIWorld:
         # Deterministic context allocation: (parent_ctx, seq) -> ctx.
         self._next_ctx = 1
         self._ctx_table: Dict[Tuple[int, int], int] = {}
+        # Named sub-communicator contexts: key -> (ctx, group).
+        self._subcomm_table: Dict[str, Tuple[int, Tuple[int, ...]]] = {}
 
     # -- accessors ------------------------------------------------------------
     @property
@@ -100,6 +102,34 @@ class MPIWorld:
             comm = Comm(self.ranks[r], 0, self._world_group)
             self._comm_world[r] = comm
         return comm
+
+    def sub_comm(self, group: Tuple[int, ...], key: str) -> Dict[int, Comm]:
+        """Create (or retrieve) a named sub-communicator over ``group``.
+
+        Returns one :class:`Comm` handle per member rank, all sharing a
+        context id agreed through a world-level table keyed by ``key`` —
+        the moral equivalent of ``MPI_Comm_create_group`` with a
+        deterministic group tag.  The order of ``group`` defines the
+        communicator ranks (``group[0]`` is comm rank 0), so callers can
+        fix role positions (e.g. sender first) independently of world
+        rank order.  Repeated calls with the same key must pass the same
+        group and return fresh handles on the same context.
+        """
+        if len(set(group)) != len(group) or not group:
+            raise ValueError(f"group must be non-empty and unique: {group}")
+        entry = self._subcomm_table.get(key)
+        if entry is None:
+            ctx = self._next_ctx
+            self._next_ctx += 1
+            self._subcomm_table[key] = (ctx, tuple(group))
+        else:
+            ctx, prev_group = entry
+            if prev_group != tuple(group):
+                raise ValueError(
+                    f"sub_comm key {key!r} already bound to group "
+                    f"{prev_group}, got {tuple(group)}"
+                )
+        return {r: Comm(self.ranks[r], ctx, tuple(group)) for r in group}
 
     def alloc_context(self, parent_ctx: int, seq: int) -> int:
         """Deterministic collective context allocation for ``Comm_dup``.

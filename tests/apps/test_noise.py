@@ -1,0 +1,113 @@
+"""Statistics and composition of the injected-noise models."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    NOISE_MODELS,
+    GaussianNoise,
+    NoisyComputeModel,
+    NoNoise,
+    SingleNoise,
+    UniformNoise,
+    make_noise,
+)
+from repro.threads import FixedDelayModel, NoDelayModel
+
+
+def samples(noise, thread_id=0, n_threads=4, n=4000, seed=1):
+    rng = np.random.default_rng(seed)
+    return np.array(
+        [noise.delay(thread_id, n_threads, rng) for _ in range(n)]
+    )
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(NOISE_MODELS) == {"none", "single", "uniform", "gaussian"}
+
+    def test_factory(self):
+        for name in NOISE_MODELS:
+            model = make_noise(name, 1e-6, 1e-7)
+            assert model.name == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            make_noise("pink", 1e-6)
+
+
+class TestNoNoise:
+    def test_zero(self):
+        assert (samples(NoNoise()) == 0).all()
+
+
+class TestSingleNoise:
+    def test_victim_only(self):
+        noise = SingleNoise(5e-6)
+        assert (samples(noise, thread_id=0) == 5e-6).all()
+        for tid in (1, 2, 3):
+            assert (samples(noise, thread_id=tid) == 0).all()
+
+    def test_victim_wraps(self):
+        noise = SingleNoise(5e-6, victim=4)
+        assert noise.delay(0, 4, np.random.default_rng(0)) == 5e-6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SingleNoise(-1.0)
+
+
+class TestUniformNoise:
+    def test_statistics(self):
+        amp = 10e-6
+        xs = samples(UniformNoise(amp))
+        assert xs.min() >= 0.0
+        assert xs.max() <= 2 * amp
+        assert np.isclose(xs.mean(), amp, rtol=0.05)
+        # U(0, 2a) std = 2a/sqrt(12)
+        assert np.isclose(xs.std(), 2 * amp / np.sqrt(12), rtol=0.1)
+
+    def test_zero_amplitude(self):
+        assert (samples(UniformNoise(0.0)) == 0).all()
+
+
+class TestGaussianNoise:
+    def test_statistics(self):
+        amp, sigma = 10e-6, 1e-6
+        xs = samples(GaussianNoise(amp, sigma))
+        assert np.isclose(xs.mean(), amp, rtol=0.05)
+        assert np.isclose(xs.std(), sigma, rtol=0.1)
+
+    def test_truncated_at_zero(self):
+        xs = samples(GaussianNoise(1e-6, 5e-6))
+        assert xs.min() >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(-1.0)
+        with pytest.raises(ValueError):
+            GaussianNoise(1.0, -1.0)
+
+
+class TestNoisyComputeModel:
+    def test_composes_with_base(self):
+        base = FixedDelayModel(1e-10)  # delays only the last partition
+        model = NoisyComputeModel(
+            base, SingleNoise(3e-6), np.random.default_rng(0)
+        )
+        # Victim thread: base + noise on every partition.
+        last = model.compute_time(0, 7, 1 << 20, 4, 2)
+        assert last == pytest.approx(1e-10 * (1 << 20) + 3e-6)
+        other = model.compute_time(1, 2, 1 << 20, 4, 2)
+        assert other == pytest.approx(3e-6 * 0)  # non-victim, non-last
+
+    def test_deterministic_given_rng(self):
+        a = NoisyComputeModel(
+            NoDelayModel(), UniformNoise(5e-6), np.random.default_rng(3)
+        )
+        b = NoisyComputeModel(
+            NoDelayModel(), UniformNoise(5e-6), np.random.default_rng(3)
+        )
+        xs = [a.compute_time(0, 0, 64, 2, 1) for _ in range(50)]
+        ys = [b.compute_time(0, 0, 64, 2, 1) for _ in range(50)]
+        assert xs == ys

@@ -24,6 +24,8 @@ class TestSizeGrid:
         assert all(100 <= s <= 1000 for s in grid)
 
     def test_validation(self):
+        # Both bounds-validation branches: min_bytes < 1, and
+        # max_bytes < min_bytes with a valid lower bound.
         with pytest.raises(ValueError):
             size_grid(0, 100)
         with pytest.raises(ValueError):
@@ -34,6 +36,19 @@ class TestSizeGrid:
     def test_empty_grid_rejected(self):
         with pytest.raises(ValueError):
             size_grid(3, 3, multiple_of=1024)
+
+    def test_points_per_decade_deprecated(self):
+        with pytest.warns(DeprecationWarning):
+            grid = size_grid(16, 128, points_per_decade=5)
+        # Still has no effect: the grid stays per-octave.
+        assert grid == [16, 32, 64, 128]
+
+    def test_no_warning_by_default(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert size_grid(16, 64) == [16, 32, 64]
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,142 @@
+"""Tests for Cartesian topologies and named sub-communicators."""
+
+import pytest
+
+from repro.mpi import CartTopology, MPIWorld, dims_create
+
+
+class TestDimsCreate:
+    def test_products(self):
+        for n in (1, 2, 6, 8, 12, 16, 17, 60, 64):
+            for ndims in (1, 2, 3):
+                dims = dims_create(n, ndims)
+                prod = 1
+                for d in dims:
+                    prod *= d
+                assert prod == n
+                assert len(dims) == ndims
+
+    def test_balanced(self):
+        assert dims_create(8, 3) == (2, 2, 2)
+        assert dims_create(12, 2) == (4, 3)
+        assert dims_create(6, 2) == (3, 2)
+
+    def test_non_increasing(self):
+        for n in (8, 24, 30, 100):
+            dims = dims_create(n, 3)
+            assert list(dims) == sorted(dims, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dims_create(0, 2)
+        with pytest.raises(ValueError):
+            dims_create(4, 0)
+
+
+class TestCartTopology:
+    def test_roundtrip(self):
+        topo = CartTopology.create(12, 3, periodic=True)
+        for rank in range(12):
+            assert topo.rank_of(topo.coords(rank)) == rank
+
+    def test_shift_periodic(self):
+        topo = CartTopology((4,), (True,))
+        assert topo.shift(0, 0, -1) == 3
+        assert topo.shift(3, 0, 1) == 0
+
+    def test_shift_boundary(self):
+        topo = CartTopology((4,), (False,))
+        assert topo.shift(0, 0, -1) is None
+        assert topo.shift(3, 0, 1) is None
+        assert topo.shift(1, 0, 1) == 2
+
+    def test_neighbors_exclude_self(self):
+        # Extent-1 dimensions wrap onto the rank itself -> no link.
+        topo = CartTopology((2, 1), (True, True))
+        for rank in (0, 1):
+            nbrs = topo.neighbors(rank)
+            assert all(n != rank for (_, _, n) in nbrs)
+            # Both +/- of dim 0 reach the peer (extent 2, periodic).
+            assert len(nbrs) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CartTopology((0,), (True,))
+        with pytest.raises(ValueError):
+            CartTopology((2, 2), (True,))
+        topo = CartTopology((2, 2), (False, False))
+        with pytest.raises(ValueError):
+            topo.coords(4)
+        with pytest.raises(ValueError):
+            topo.rank_of((2, 0))
+        with pytest.raises(ValueError):
+            topo.rank_of((0,))
+        with pytest.raises(ValueError):
+            topo.shift(0, 2, 1)
+
+
+class TestSubComm:
+    def test_shared_context(self):
+        world = MPIWorld(n_ranks=4)
+        comms = world.sub_comm((2, 0), key="link:2->0")
+        assert set(comms) == {0, 2}
+        assert comms[0].context_id == comms[2].context_id
+        # Group order fixes comm ranks: sender (world 2) is comm rank 0.
+        assert comms[2].rank == 0
+        assert comms[0].rank == 1
+        assert comms[0].world_rank(0) == 2
+
+    def test_distinct_keys_distinct_contexts(self):
+        world = MPIWorld(n_ranks=4)
+        a = world.sub_comm((0, 1), key="a")
+        b = world.sub_comm((0, 1), key="b")
+        assert a[0].context_id != b[0].context_id
+
+    def test_same_key_same_context(self):
+        world = MPIWorld(n_ranks=4)
+        a = world.sub_comm((0, 1), key="a")
+        again = world.sub_comm((0, 1), key="a")
+        assert a[0].context_id == again[0].context_id
+
+    def test_group_mismatch_rejected(self):
+        world = MPIWorld(n_ranks=4)
+        world.sub_comm((0, 1), key="a")
+        with pytest.raises(ValueError):
+            world.sub_comm((1, 0), key="a")
+
+    def test_bad_groups(self):
+        world = MPIWorld(n_ranks=4)
+        with pytest.raises(ValueError):
+            world.sub_comm((), key="x")
+        with pytest.raises(ValueError):
+            world.sub_comm((1, 1), key="y")
+
+    def test_traffic_isolated_per_context(self):
+        """Same tag on two sub-comms between the same pair stays apart."""
+        import numpy as np
+
+        from repro.mpi import Cvars
+
+        world = MPIWorld(n_ranks=2, cvars=Cvars(verify_payloads=True))
+        link_a = world.sub_comm((0, 1), key="a")
+        link_b = world.sub_comm((0, 1), key="b")
+        payload_a = np.full(64, 7, dtype=np.uint8)
+        payload_b = np.full(64, 9, dtype=np.uint8)
+        got = {}
+
+        def sender(world):
+            yield from link_a[0].send(dest=1, tag=5, nbytes=64, data=payload_a)
+            yield from link_b[0].send(dest=1, tag=5, nbytes=64, data=payload_b)
+
+        def receiver(world):
+            buf_b = np.zeros(64, dtype=np.uint8)
+            buf_a = np.zeros(64, dtype=np.uint8)
+            # Receive link b first: matching must be per-context.
+            yield from link_b[1].recv(source=0, tag=5, nbytes=64, buffer=buf_b)
+            yield from link_a[1].recv(source=0, tag=5, nbytes=64, buffer=buf_a)
+            got["a"], got["b"] = int(buf_a[0]), int(buf_b[0])
+
+        world.launch(0, sender(world))
+        world.launch(1, receiver(world))
+        world.run()
+        assert got == {"a": 7, "b": 9}
