@@ -4,9 +4,11 @@
 Prints the textual reproduction of Tables 1-2 and Figures 4-8 with the
 paper-vs-measured headline factors.  ``--full`` uses the paper's full
 size grids (slower); the default quick mode spans the same ranges with
-fewer points.
+fewer points.  ``--jobs N`` fans each figure's scenario grid out across
+N worker processes through the unified runner (0 = one per CPU) with
+results identical to a serial run.
 
-Run:  python examples/regenerate_figures.py [--full] [--iters N]
+Run:  python examples/regenerate_figures.py [--full] [--iters N] [--jobs N]
 """
 
 import argparse
@@ -37,14 +39,22 @@ def main(argv=None):
                         help="full size grids (slower)")
     parser.add_argument("--iters", type=int, default=10,
                         help="iterations per benchmark point")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="runner worker processes (0 = one per CPU)")
     args = parser.parse_args(argv)
 
+    from repro.runner import default_jobs
+
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0")
+    jobs = args.jobs if args.jobs > 0 else default_jobs()
     print(tables.table1())
     print()
     print(tables.table2())
     for driver in DRIVERS:
         t0 = time.time()
-        data = driver.run(iterations=args.iters, quick=not args.full)
+        data = driver.run(iterations=args.iters, quick=not args.full,
+                          jobs=jobs)
         print("\n" + "=" * 72)
         print(driver.report(data))
         print(f"[regenerated in {time.time() - t0:.1f}s]")

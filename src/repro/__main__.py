@@ -1,9 +1,10 @@
 """Command-line entry point.
 
-Two subcommands::
+Three subcommands::
 
-    python -m repro figures [...]   # regenerate the paper's tables/figures
-    python -m repro apps [...]      # N-rank application patterns
+    python -m repro figures [...]      # regenerate the paper's tables/figures
+    python -m repro apps [...]         # N-rank application patterns
+    python -m repro runner-bench [...] # time the runner serial vs parallel
 
 Invocations without a subcommand keep the historical behavior and run
 ``figures``::
@@ -13,11 +14,21 @@ Invocations without a subcommand keep the historical behavior and run
     python -m repro --iters 30      # more iterations per point
     python -m repro --only fig5     # a single figure
 
+Every simulated grid goes through the unified scenario runner
+(:mod:`repro.runner`); ``figures`` and ``apps`` both accept
+
+* ``--jobs N`` — fan the grid out over N worker processes (0 = one per
+  CPU; 1 = in-process serial, the default);
+* ``--store DIR`` — record every point in a content-addressed result
+  store;
+* ``--resume`` — skip points already present in ``--store``.
+
 Application patterns (Halo3D / Sweep3D / FFT transpose)::
 
     python -m repro apps --pattern halo3d --ranks 8 --approach pt2pt_part
     python -m repro apps --pattern sweep3d --approach all --noise gaussian
     python -m repro apps --pattern fft --size 1048576 --json results.json
+    python -m repro apps --pattern halo3d --jobs 0 --store runs/ --resume
 """
 
 from __future__ import annotations
@@ -52,8 +63,9 @@ def _figures_parser(top_level: bool = False) -> argparse.ArgumentParser:
         prog="python -m repro" if top_level else "python -m repro figures",
         description="Regenerate the paper's tables and figures.",
         epilog=(
-            "subcommands: 'figures' (this, the default) and 'apps' — "
-            "N-rank application patterns; see 'python -m repro apps --help'."
+            "subcommands: 'figures' (this, the default), 'apps' — N-rank "
+            "application patterns, and 'runner-bench' — runner timings; "
+            "see 'python -m repro <subcommand> --help'."
         ) if top_level else None,
     )
     parser.add_argument("--full", action="store_true",
@@ -65,10 +77,39 @@ def _figures_parser(top_level: bool = False) -> argparse.ArgumentParser:
         choices=sorted(_DRIVERS) + ["tables"],
         help="regenerate a single artifact",
     )
+    _add_runner_options(parser)
     return parser
 
 
-def _run_figures(args) -> int:
+def _add_runner_options(parser: argparse.ArgumentParser) -> None:
+    """The unified runner knobs shared by ``figures`` and ``apps``."""
+    group = parser.add_argument_group("runner")
+    group.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for the scenario grid "
+                            "(0 = one per CPU; default 1 = serial)")
+    group.add_argument("--store", default=None, metavar="DIR",
+                       help="content-addressed result store directory")
+    group.add_argument("--resume", action="store_true",
+                       help="skip scenarios already in --store")
+
+
+def _runner_kwargs(args, parser: argparse.ArgumentParser) -> dict:
+    """Resolve --jobs/--store/--resume into driver keyword arguments."""
+    from .runner import ResultStore, default_jobs
+
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0")
+    if args.resume and args.store is None:
+        parser.error("--resume requires --store")
+    return {
+        "jobs": args.jobs if args.jobs > 0 else default_jobs(),
+        "store": ResultStore(args.store) if args.store else None,
+        "resume": args.resume,
+    }
+
+
+def _run_figures(args, parser) -> int:
+    runner_kwargs = _runner_kwargs(args, parser)
     if args.only is None or args.only == "tables":
         print(tables.table1())
         print()
@@ -80,7 +121,9 @@ def _run_figures(args) -> int:
     )
     for driver in selected:
         t0 = time.time()
-        data = driver.run(iterations=args.iters, quick=not args.full)
+        data = driver.run(
+            iterations=args.iters, quick=not args.full, **runner_kwargs
+        )
         print("\n" + "=" * 72)
         print(driver.report(data))
         print(f"[regenerated in {time.time() - t0:.1f}s]")
@@ -129,19 +172,21 @@ def _apps_parser() -> argparse.ArgumentParser:
                         help="persistence path (default BENCH_apps.json)")
     parser.add_argument("--no-json", action="store_true",
                         help="skip writing the sweep JSON")
+    _add_runner_options(parser)
     return parser
 
 
-def _run_apps(args) -> int:
+def _run_apps(args, parser) -> int:
     from .apps import (
         DEFAULT_JSON_PATH,
         PatternConfig,
-        PatternSweep,
         build_pattern,
+        sweep_patterns,
     )
     from .bench import APPROACHES
     from .mpi import Cvars
 
+    runner_kwargs = _runner_kwargs(args, parser)
     approaches = (
         sorted(APPROACHES) if args.approach == "all" else [args.approach]
     )
@@ -150,11 +195,9 @@ def _run_apps(args) -> int:
     if _BASELINE not in run_list:
         run_list.append(_BASELINE)
 
-    sweep = PatternSweep()
-    results = {}
-    for name in run_list:
-        try:
-            config = PatternConfig(
+    try:
+        configs = [
+            PatternConfig(
                 pattern=args.pattern,
                 approach=name,
                 n_ranks=args.ranks,
@@ -169,10 +212,16 @@ def _run_apps(args) -> int:
                 seed=args.seed,
                 cvars=Cvars(num_vcis=args.vcis),
             )
-        except (KeyError, ValueError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        results[name] = sweep.run(config)
+            for name in run_list
+        ]
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # The whole approach list is one runner batch (parallel fan-out).
+    sweep = sweep_patterns(configs, **runner_kwargs)
+    results = {
+        config.approach: sweep.get(config) for config in configs
+    }
 
     first = results[run_list[0]]
     print(build_pattern(first.config).describe())
@@ -206,14 +255,50 @@ def _run_apps(args) -> int:
     return 0
 
 
+def _runner_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro runner-bench",
+        description="Time the scenario runner's fixed quick grid at "
+                    "jobs=1 vs jobs=N and persist BENCH_runner.json.",
+    )
+    parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="parallel worker count (0 = one per CPU)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="persistence path (default BENCH_runner.json)")
+    return parser
+
+
+def _run_runner_bench(args) -> int:
+    from .runner.benchmark import DEFAULT_JSON_PATH, benchmark_runner
+
+    path = args.json if args.json else DEFAULT_JSON_PATH
+    payload = benchmark_runner(
+        jobs=args.jobs if args.jobs > 0 else None, path=path
+    )
+    print(
+        f"{payload['n_scenarios']} scenarios: "
+        f"jobs=1 {payload['serial']['wall_s']:.2f}s, "
+        f"jobs={payload['parallel']['jobs']} "
+        f"{payload['parallel']['wall_s']:.2f}s "
+        f"(speedup x{payload['speedup']:.2f})"
+    )
+    print(f"[timings persisted to {path}]")
+    return 0
+
+
 def main(argv=None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "apps":
-        return _run_apps(_apps_parser().parse_args(argv[1:]))
+        parser = _apps_parser()
+        return _run_apps(parser.parse_args(argv[1:]), parser)
     if argv and argv[0] == "figures":
-        return _run_figures(_figures_parser().parse_args(argv[1:]))
+        parser = _figures_parser()
+        return _run_figures(parser.parse_args(argv[1:]), parser)
+    if argv and argv[0] == "runner-bench":
+        return _run_runner_bench(_runner_bench_parser().parse_args(argv[1:]))
     # No subcommand: historical figure-regeneration behavior.
-    return _run_figures(_figures_parser(top_level=True).parse_args(argv))
+    parser = _figures_parser(top_level=True)
+    return _run_figures(parser.parse_args(argv), parser)
 
 
 if __name__ == "__main__":

@@ -20,9 +20,6 @@ import json
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional
 
-from ..bench.stats import summarize
-from ..mpi import Cvars
-from ..net import SystemParams
 from .base import PatternConfig, PatternResult, run_pattern
 
 __all__ = ["PatternSweep", "DEFAULT_JSON_PATH", "sweep_patterns"]
@@ -115,27 +112,33 @@ class PatternSweep:
 
     @classmethod
     def from_json(cls, payload: dict) -> "PatternSweep":
-        """Rebuild a sweep from :meth:`to_json` output (stats recomputed)."""
+        """Rebuild a sweep from :meth:`to_json` output (stats recomputed).
+
+        Config and result reconstruction delegate to the runner's
+        scenario protocol, so this format and the
+        :class:`~repro.runner.store.ResultStore` records can never
+        silently diverge.
+        """
+        from ..runner.scenario import (
+            SCHEMA as RUNNER_SCHEMA,
+            Scenario,
+            result_from_dict,
+        )
+
         if payload.get("schema") != _SCHEMA:
             raise ValueError(
                 f"unrecognized sweep schema {payload.get('schema')!r}"
             )
         sweep = cls()
         for record in payload["results"]:
-            config_dict = dict(record["config"])
-            config_dict["params"] = SystemParams(**config_dict["params"])
-            config_dict["cvars"] = Cvars(**config_dict["cvars"])
-            config = PatternConfig(**config_dict)
-            times = [float(t) for t in record["times"]]
-            sweep.add(
-                PatternResult(
-                    config=config,
-                    times=times,
-                    stats=summarize(times),
-                    bytes_per_iteration=int(record["bytes_per_iteration"]),
-                    n_links=int(record["n_links"]),
-                )
+            scenario = Scenario.from_dict(
+                {
+                    "schema": RUNNER_SCHEMA,
+                    "kind": "pattern",
+                    "spec": record["config"],
+                }
             )
+            sweep.add(result_from_dict(scenario, record))
         return sweep
 
     def save(self, path: str | Path = DEFAULT_JSON_PATH) -> Path:
@@ -150,9 +153,23 @@ class PatternSweep:
         return cls.from_json(json.loads(Path(path).read_text()))
 
 
-def sweep_patterns(configs: Iterable[PatternConfig]) -> PatternSweep:
-    """Run every config into one sweep."""
+def sweep_patterns(
+    configs: Iterable[PatternConfig],
+    jobs: int = 1,
+    store=None,
+    resume: bool = False,
+) -> PatternSweep:
+    """Run every config into one sweep via the unified runner.
+
+    The whole batch is submitted at once, so ``jobs > 1`` fans the
+    configs out across cores; ``store``/``resume`` enable the runner's
+    content-addressed cache (see :class:`repro.runner.ResultStore`).
+    """
+    from ..runner import run_specs
+
     sweep = PatternSweep()
-    for config in configs:
-        sweep.run(config)
+    for result in run_specs(
+        list(configs), jobs=jobs, store=store, resume=resume
+    ):
+        sweep.add(result)
     return sweep

@@ -1,12 +1,18 @@
-"""Parameter sweeps: message-size series for the paper's figures."""
+"""Parameter sweeps: message-size series for the paper's figures.
+
+Sweeps are thin grid builders over the unified scenario runner
+(:mod:`repro.runner`): they expand ``(approach, size)`` grids into
+:class:`BenchSpec` scenarios, submit the whole batch at once (so
+``jobs > 1`` fans the grid out across cores), and collect the results
+into a :class:`SweepResult` keyed for the figure reports.
+"""
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import replace
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from .harness import BenchResult, BenchSpec, run_benchmark
+from .harness import BenchResult, BenchSpec
 
 __all__ = ["size_grid", "sweep_sizes", "sweep_approaches", "SweepResult"]
 
@@ -14,26 +20,13 @@ __all__ = ["size_grid", "sweep_sizes", "sweep_approaches", "SweepResult"]
 def size_grid(
     min_bytes: int,
     max_bytes: int,
-    points_per_decade: Optional[int] = None,
     multiple_of: int = 1,
 ) -> List[int]:
     """Logarithmic size grid, each entry rounded to ``multiple_of``.
 
     Power-of-two based: returns sizes ``multiple_of * 2^k`` covering
     [min_bytes, max_bytes], matching the paper's log-scale x axes.
-
-    .. deprecated:: 1.1
-        ``points_per_decade`` was never honored — the grid is strictly
-        per-octave.  Passing it now raises a :class:`DeprecationWarning`
-        and still has no effect; it will be removed in a future release.
     """
-    if points_per_decade is not None:
-        warnings.warn(
-            "size_grid(points_per_decade=...) has no effect: the grid is "
-            "per-octave (powers of two); the parameter will be removed",
-            DeprecationWarning,
-            stacklevel=2,
-        )
     if min_bytes < 1 or max_bytes < min_bytes:
         raise ValueError("need 1 <= min_bytes <= max_bytes")
     if multiple_of < 1:
@@ -59,6 +52,11 @@ class SweepResult:
     def add(self, result: BenchResult) -> None:
         key = (result.spec.approach, result.spec.total_bytes)
         self._results[key] = result
+
+    def add_as(self, label: str, result: BenchResult) -> None:
+        """Record a result under an explicit label (e.g. a cvar-variant
+        key like ``pt2pt_part(aggr=512)``) instead of its approach name."""
+        self._results[(label, result.spec.total_bytes)] = result
 
     def get(self, approach: str, total_bytes: int) -> BenchResult:
         return self._results[(approach, total_bytes)]
@@ -104,11 +102,17 @@ def sweep_sizes(
     base: BenchSpec,
     sizes: Sequence[int],
     out: Optional[SweepResult] = None,
+    jobs: int = 1,
+    store=None,
+    resume: bool = False,
 ) -> SweepResult:
-    """Run ``base`` across message sizes."""
+    """Run ``base`` across message sizes (one runner submission)."""
+    from ..runner import run_specs
+
     result = out if out is not None else SweepResult()
-    for size in sizes:
-        result.add(run_benchmark(replace(base, total_bytes=size)))
+    specs = [replace(base, total_bytes=size) for size in sizes]
+    for r in run_specs(specs, jobs=jobs, store=store, resume=resume):
+        result.add(r)
     return result
 
 
@@ -116,9 +120,23 @@ def sweep_approaches(
     base: BenchSpec,
     approaches: Iterable[str],
     sizes: Sequence[int],
+    jobs: int = 1,
+    store=None,
+    resume: bool = False,
 ) -> SweepResult:
-    """Run several approaches across message sizes (one figure's data)."""
+    """Run several approaches across message sizes (one figure's data).
+
+    The full approaches × sizes grid goes to the runner as one batch, so
+    ``jobs > 1`` parallelizes across the whole figure, not one series.
+    """
+    specs = [
+        replace(base, approach=name, total_bytes=size)
+        for name in approaches
+        for size in sizes
+    ]
+    from ..runner import run_specs
+
     result = SweepResult()
-    for name in approaches:
-        sweep_sizes(replace(base, approach=name), sizes, out=result)
+    for r in run_specs(specs, jobs=jobs, store=store, resume=resume):
+        result.add(r)
     return result

@@ -3,12 +3,19 @@
 Each ``figN_*`` module exposes
 
 * ``SIZES`` / configuration constants matching the paper's setup,
-* ``run(iterations=..., quick=...)`` returning a :class:`FigureData`,
+* ``run(iterations=..., quick=..., jobs=..., store=..., resume=...)``
+  returning a :class:`FigureData`,
 * ``report(data)`` returning the printable reproduction of the figure.
 
 ``quick=True`` shrinks the size grid (used by the pytest-benchmark
 drivers so a full regeneration stays tractable); the full grid matches
 the paper's axis ranges.
+
+Every driver builds its approaches × sizes grid and submits it to the
+unified scenario runner (:mod:`repro.runner`) as one batch: ``jobs > 1``
+fans the whole figure out across cores, and a
+:class:`~repro.runner.store.ResultStore` plus ``resume=True`` skips
+points that were already computed by an earlier invocation.
 """
 
 from __future__ import annotations
@@ -18,7 +25,7 @@ from typing import Dict, List, Sequence
 
 from ..bench import BenchSpec, SweepResult, sweep_approaches
 
-__all__ = ["FigureData", "run_grid", "paper_sizes"]
+__all__ = ["FigureData", "run_grid", "run_labeled_grid", "paper_sizes"]
 
 
 @dataclass
@@ -52,12 +59,41 @@ def paper_sizes(min_bytes: int, max_bytes: int, n_parts: int,
     return sizes
 
 
+def run_labeled_grid(
+    figure: str,
+    labeled_specs: Sequence[tuple],
+    jobs: int = 1,
+    store=None,
+    resume: bool = False,
+) -> FigureData:
+    """Run explicit ``(label, BenchSpec)`` points as one runner batch.
+
+    The general entry point for figures whose series are not plain
+    approach names (e.g. Fig. 7's cvar variants): every spec goes out in
+    a single submission, and each result lands in the sweep under its
+    label.
+    """
+    from ..runner import run_specs
+
+    specs = [spec for _, spec in labeled_specs]
+    results = run_specs(specs, jobs=jobs, store=store, resume=resume)
+    sweep = SweepResult()
+    for (label, _), result in zip(labeled_specs, results):
+        sweep.add_as(label, result)
+    return FigureData(figure=figure, sweep=sweep)
+
+
 def run_grid(
     figure: str,
     approaches: Sequence[str],
     sizes: Sequence[int],
     base: BenchSpec,
+    jobs: int = 1,
+    store=None,
+    resume: bool = False,
 ) -> FigureData:
     """Sweep approaches × sizes and wrap the result."""
-    sweep = sweep_approaches(base, approaches, sizes)
+    sweep = sweep_approaches(
+        base, approaches, sizes, jobs=jobs, store=store, resume=resume
+    )
     return FigureData(figure=figure, sweep=sweep)

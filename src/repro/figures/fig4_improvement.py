@@ -38,7 +38,8 @@ MIN_BYTES = 16
 MAX_BYTES = 16 << 20  # 16 MiB ~ the paper's 10^7 B axis end
 
 
-def run(iterations: int = 30, quick: bool = False) -> FigureData:
+def run(iterations: int = 30, quick: bool = False, jobs: int = 1,
+        store=None, resume: bool = False) -> FigureData:
     """Regenerate Fig. 4's data."""
     sizes = paper_sizes(MIN_BYTES, MAX_BYTES, n_parts=1, quick=quick)
     base = BenchSpec(
@@ -48,7 +49,8 @@ def run(iterations: int = 30, quick: bool = False) -> FigureData:
         theta=1,
         iterations=iterations,
     )
-    data = run_grid("fig4", APPROACHES, sizes, base)
+    data = run_grid("fig4", APPROACHES, sizes, base,
+                    jobs=jobs, store=store, resume=resume)
     small, large = sizes[0], sizes[-1]
     sweep = data.sweep
     data.headline = {

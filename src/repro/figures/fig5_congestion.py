@@ -34,7 +34,8 @@ MIN_BYTES = 1 << 10
 MAX_BYTES = 16 << 20
 
 
-def run(iterations: int = 30, quick: bool = False) -> FigureData:
+def run(iterations: int = 30, quick: bool = False, jobs: int = 1,
+        store=None, resume: bool = False) -> FigureData:
     """Regenerate Fig. 5's data."""
     sizes = paper_sizes(MIN_BYTES, MAX_BYTES, n_parts=N_THREADS, quick=quick)
     base = BenchSpec(
@@ -44,7 +45,8 @@ def run(iterations: int = 30, quick: bool = False) -> FigureData:
         theta=1,
         iterations=iterations,
     )
-    data = run_grid("fig5", APPROACHES, sizes, base)
+    data = run_grid("fig5", APPROACHES, sizes, base,
+                    jobs=jobs, store=store, resume=resume)
     small, large = sizes[0], sizes[-1]
     sweep = data.sweep
     data.headline = {

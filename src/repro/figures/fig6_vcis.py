@@ -27,7 +27,8 @@ __all__ = ["APPROACHES", "N_VCIS", "run", "report"]
 N_VCIS = 32
 
 
-def run(iterations: int = 30, quick: bool = False) -> FigureData:
+def run(iterations: int = 30, quick: bool = False, jobs: int = 1,
+        store=None, resume: bool = False) -> FigureData:
     """Regenerate Fig. 6's data."""
     sizes = paper_sizes(MIN_BYTES, MAX_BYTES, n_parts=N_THREADS, quick=quick)
     base = BenchSpec(
@@ -38,7 +39,8 @@ def run(iterations: int = 30, quick: bool = False) -> FigureData:
         iterations=iterations,
         cvars=Cvars(num_vcis=N_VCIS, vci_method=VCI_METHOD_TAG_RR),
     )
-    data = run_grid("fig6", APPROACHES, sizes, base)
+    data = run_grid("fig6", APPROACHES, sizes, base,
+                    jobs=jobs, store=store, resume=resume)
     small = sizes[0]
     sweep = data.sweep
     data.headline = {

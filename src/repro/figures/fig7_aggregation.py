@@ -20,9 +20,9 @@ Expected shapes (paper):
 from __future__ import annotations
 
 from dataclasses import replace
-from ..bench import BenchSpec, SweepResult, format_us_table, sweep_sizes
+from ..bench import BenchSpec, format_us_table
 from ..mpi import Cvars
-from .common import FigureData, paper_sizes
+from .common import FigureData, paper_sizes, run_labeled_grid
 
 __all__ = ["AGGR_SIZES", "N_THREADS", "THETA", "run", "report"]
 
@@ -39,11 +39,14 @@ def _key(aggr: int) -> str:
     return "pt2pt_part" if aggr == 0 else f"pt2pt_part(aggr={aggr})"
 
 
-def run(iterations: int = 30, quick: bool = False) -> FigureData:
+def run(iterations: int = 30, quick: bool = False, jobs: int = 1,
+        store=None, resume: bool = False) -> FigureData:
     """Regenerate Fig. 7's data.
 
     The sweep result keys partitioned variants as
-    ``pt2pt_part(aggr=N)``; baselines keep their registry names.
+    ``pt2pt_part(aggr=N)``; baselines keep their registry names.  The
+    baselines and every aggregation variant go to the runner as one
+    labeled grid, so the whole figure fans out in a single batch.
     """
     sizes = paper_sizes(MIN_BYTES, MAX_BYTES, n_parts=N_PARTS, quick=quick)
     base = BenchSpec(
@@ -53,22 +56,28 @@ def run(iterations: int = 30, quick: bool = False) -> FigureData:
         theta=THETA,
         iterations=iterations,
     )
-    sweep = SweepResult()
-    sweep_sizes(base, sizes, out=sweep)
-    sweep_sizes(replace(base, approach="pt2pt_many"), sizes, out=sweep)
-    for aggr in AGGR_SIZES:
-        part = replace(
-            base,
-            approach="pt2pt_part",
-            cvars=Cvars(part_aggr_size=aggr),
+    labeled = [
+        (name, replace(base, approach=name, total_bytes=size))
+        for name in ("pt2pt_single", "pt2pt_many")
+        for size in sizes
+    ]
+    labeled += [
+        (
+            _key(aggr),
+            replace(
+                base,
+                approach="pt2pt_part",
+                total_bytes=size,
+                cvars=Cvars(part_aggr_size=aggr),
+            ),
         )
-        partial = SweepResult()
-        sweep_sizes(part, sizes, out=partial)
-        # Re-key under the aggregation label.
-        for size in sizes:
-            result = partial.get("pt2pt_part", size)
-            sweep._results[(_key(aggr), size)] = result
-    data = FigureData(figure="fig7", sweep=sweep)
+        for aggr in AGGR_SIZES
+        for size in sizes
+    ]
+    data = run_labeled_grid(
+        "fig7", labeled, jobs=jobs, store=store, resume=resume
+    )
+    sweep = data.sweep
     small = sizes[0]
     data.headline = {
         "noaggr_penalty": sweep.ratio(_key(0), "pt2pt_single", small),

@@ -44,7 +44,8 @@ def theoretical_gain() -> float:
     )
 
 
-def run(iterations: int = 30, quick: bool = False) -> FigureData:
+def run(iterations: int = 30, quick: bool = False, jobs: int = 1,
+        store=None, resume: bool = False) -> FigureData:
     """Regenerate Fig. 8's data."""
     sizes = paper_sizes(MIN_BYTES, MAX_BYTES, n_parts=N_THREADS, quick=quick)
     base = BenchSpec(
@@ -55,7 +56,8 @@ def run(iterations: int = 30, quick: bool = False) -> FigureData:
         iterations=iterations,
         gamma_us_per_mb=GAMMA_US_PER_MB,
     )
-    data = run_grid("fig8", APPROACHES, sizes, base)
+    data = run_grid("fig8", APPROACHES, sizes, base,
+                    jobs=jobs, store=store, resume=resume)
     sweep = data.sweep
     large = sizes[-1]
     # Gain of each pipelined approach over bulk synchronization.

@@ -4,6 +4,10 @@ These tables are the paper's specification of the benchmark approaches;
 here they double as machine-checkable documentation: the integration
 tests assert that each approach's implementation actually performs the
 listed operations (via runtime call counters and wire traffic).
+
+Unlike the ``figN_*`` drivers, the tables are static text — there is no
+scenario grid to submit to :mod:`repro.runner`, so regeneration is free
+and ignores ``--jobs``/``--store``/``--resume``.
 """
 
 from __future__ import annotations

@@ -1,0 +1,67 @@
+"""Unified scenario-execution engine.
+
+One declarative grid language, parallel fan-out, and cached/resumable
+results for every execution path in the repo:
+
+* :class:`~repro.runner.scenario.ScenarioGrid` — declarative axis
+  cross-products over either spec family (``bench`` two-rank points,
+  ``pattern`` N-rank application points), expanded in a deterministic
+  order;
+* :class:`~repro.runner.executor.ParallelExecutor` — ``multiprocessing``
+  fan-out (``jobs=N``; ``jobs=1`` is plain in-process serial) with
+  results reassembled in submission order and moved through one
+  serialized form, so parallel output is byte-identical to serial;
+* :class:`~repro.runner.store.ResultStore` — content-addressed JSON
+  cache keyed by scenario hash; ``resume=True`` serves warm points
+  without simulating.
+
+The figure drivers, ``bench.sweep``, ``apps.sweep``, and the CLI
+(``--jobs`` / ``--store`` / ``--resume``) all submit their grids here.
+
+Quick start
+-----------
+>>> from repro.runner import ScenarioGrid, run_scenarios
+>>> grid = ScenarioGrid(
+...     "bench",
+...     base={"iterations": 2, "n_threads": 1},
+...     axes={"approach": ["pt2pt_single", "pt2pt_part"],
+...           "total_bytes": [1024, 65536]},
+... )
+>>> report = run_scenarios(grid.expand(), jobs=1)
+>>> len(report.results)
+4
+"""
+
+from .executor import (
+    ParallelExecutor,
+    RunReport,
+    default_jobs,
+    run_scenarios,
+    run_specs,
+)
+from .scenario import (
+    SCHEMA,
+    Scenario,
+    ScenarioGrid,
+    execute,
+    result_from_dict,
+    result_to_dict,
+    scenario_for,
+)
+from .store import ResultStore
+
+__all__ = [
+    "SCHEMA",
+    "Scenario",
+    "ScenarioGrid",
+    "scenario_for",
+    "execute",
+    "result_to_dict",
+    "result_from_dict",
+    "ParallelExecutor",
+    "RunReport",
+    "ResultStore",
+    "run_scenarios",
+    "run_specs",
+    "default_jobs",
+]

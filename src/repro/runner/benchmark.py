@@ -1,0 +1,100 @@
+"""Runner self-benchmark: the ``BENCH_runner.json`` perf-trajectory feed.
+
+Times one fixed quick grid — a mixed batch of two-rank bench points and
+an N-rank application point — through the executor at ``jobs=1`` and
+``jobs=N``, and writes the wall-clock numbers to ``BENCH_runner.json``
+so the parallel-speedup trajectory is tracked from PR to PR.
+
+Run:  ``python -m repro runner-bench [--jobs N] [--json PATH]``
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from .executor import ParallelExecutor, default_jobs
+from .scenario import Scenario, ScenarioGrid
+
+__all__ = ["DEFAULT_JSON_PATH", "fixed_quick_grid", "benchmark_runner"]
+
+#: Default persistence target (picked up by the perf trajectory).
+DEFAULT_JSON_PATH = "BENCH_runner.json"
+
+_SCHEMA = "repro.runner.bench/v1"
+
+
+def fixed_quick_grid() -> List[Scenario]:
+    """The fixed mixed grid every ``runner-bench`` invocation times.
+
+    Held constant across PRs so the JSON numbers stay comparable:
+    4 approaches × 3 sizes of the two-rank harness at 4 threads, plus a
+    Halo3D application point — 13 scenarios.
+    """
+    bench = ScenarioGrid(
+        "bench",
+        base={"n_threads": 4, "theta": 4, "iterations": 10},
+        axes={
+            "approach": [
+                "pt2pt_single",
+                "pt2pt_many",
+                "pt2pt_part",
+                "rma_single_passive",
+            ],
+            "total_bytes": [1 << 12, 1 << 16, 1 << 20],
+        },
+    )
+    pattern = ScenarioGrid(
+        "pattern",
+        base={
+            "n_ranks": 8,
+            "n_threads": 2,
+            "msg_bytes": 1 << 14,
+            "iterations": 5,
+            "compute_us_per_mb": 200.0,
+        },
+        axes={"pattern": ["halo3d"], "approach": ["pt2pt_part"]},
+    )
+    return bench.expand() + pattern.expand()
+
+
+def _time_run(scenarios: List[Scenario], jobs: int) -> float:
+    t0 = time.perf_counter()
+    ParallelExecutor(jobs=jobs).run(scenarios)
+    return time.perf_counter() - t0
+
+
+def benchmark_runner(
+    jobs: Optional[int] = None,
+    path: str | Path = DEFAULT_JSON_PATH,
+    repeats: int = 1,
+) -> dict:
+    """Time the fixed grid serial vs parallel and persist the outcome.
+
+    Returns the written payload.  ``jobs=None`` uses every CPU (at least
+    2, so the pool path is always the one timed); the best of
+    ``repeats`` wall-clocks is kept for each mode.
+    """
+    n_jobs = max(2, default_jobs()) if jobs is None else max(1, int(jobs))
+    scenarios = fixed_quick_grid()
+    serial = min(_time_run(scenarios, jobs=1) for _ in range(max(1, repeats)))
+    parallel = min(
+        _time_run(scenarios, jobs=n_jobs) for _ in range(max(1, repeats))
+    )
+    payload = {
+        "schema": _SCHEMA,
+        "n_scenarios": len(scenarios),
+        "grid": "4 approaches x 3 sizes (bench, N=4/theta=4/iters=10) "
+                "+ halo3d pt2pt_part (8 ranks)",
+        "python": platform.python_version(),
+        "cpu_count": default_jobs(),
+        "serial": {"jobs": 1, "wall_s": round(serial, 4)},
+        "parallel": {"jobs": n_jobs, "wall_s": round(parallel, 4)},
+        "speedup": round(serial / parallel, 3) if parallel > 0 else None,
+    }
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload

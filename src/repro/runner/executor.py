@@ -1,0 +1,184 @@
+"""Parallel scenario fan-out with deterministic, serial-identical results.
+
+Every scenario builds its own :class:`~repro.mpi.world.MPIWorld` and
+shares no state with its neighbours, so a grid is embarrassingly
+parallel.  The :class:`ParallelExecutor` fans scenarios out across a
+``multiprocessing`` pool and reassembles results **in submission
+order**, and both the serial and the parallel path move results through
+the same serialized form (:func:`~repro.runner.scenario.result_to_dict`)
+— so the output of ``jobs=N`` is byte-identical to ``jobs=1``.
+
+``jobs=1`` (or a single pending scenario) never touches
+``multiprocessing``: it executes in-process, which keeps tracebacks
+direct and makes the serial path usable everywhere (tests, notebooks,
+platforms without ``fork``).
+
+With a :class:`~repro.runner.store.ResultStore` attached, computed
+results are recorded and — under ``resume=True`` — already-recorded
+scenarios are served from the store without running a single simulation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Sequence
+
+from .scenario import (
+    Scenario,
+    execute,
+    result_from_dict,
+    result_to_dict,
+    scenario_for,
+)
+from .store import ResultStore
+
+__all__ = ["ParallelExecutor", "RunReport", "run_scenarios", "run_specs"]
+
+
+def default_jobs() -> int:
+    """The default worker count: one per available CPU."""
+    return os.cpu_count() or 1
+
+
+def _execute_payload(payload: dict) -> dict:
+    """Pool worker: scenario dict in, result dict out.
+
+    Module-level (picklable) and dict-in/dict-out so that exactly the
+    serialized representation crosses the process boundary.
+    """
+    scenario = Scenario.from_dict(payload)
+    return result_to_dict(scenario, execute(scenario))
+
+
+@dataclass
+class RunReport:
+    """Outcome of one executor submission."""
+
+    #: Native result objects, in submission order.
+    results: List[Any] = field(default_factory=list)
+    #: Serialized result dicts, parallel to ``results`` (the byte-stable
+    #: form used for determinism checks and store records).
+    result_dicts: List[dict] = field(default_factory=list)
+    #: Number of scenarios actually simulated by this submission.
+    executed: int = 0
+    #: Number of scenarios served from the store without running.
+    cached: int = 0
+    #: Worker count used for the simulated portion.
+    jobs: int = 1
+
+    def canonical_json(self) -> str:
+        """Canonical serialization of the batch's results (sorted keys),
+        independent of worker count or cache hits — the byte-identity
+        invariant checked by the determinism tests."""
+        import json
+
+        return json.dumps(
+            self.result_dicts, sort_keys=True, separators=(",", ":")
+        )
+
+
+class ParallelExecutor:
+    """Runs scenario batches across a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``None`` means ``os.cpu_count()``.  ``1``
+        falls back to in-process serial execution.
+    store:
+        Optional default :class:`ResultStore` for :meth:`run`.
+    resume:
+        Default resume behaviour for :meth:`run`.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        store: Optional[ResultStore] = None,
+        resume: bool = False,
+    ):
+        self.jobs = default_jobs() if jobs is None else int(jobs)
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.store = store
+        self.resume = resume
+
+    def run(
+        self,
+        scenarios: Iterable[Scenario],
+        store: Optional[ResultStore] = None,
+        resume: Optional[bool] = None,
+    ) -> RunReport:
+        """Execute a batch; results come back in submission order."""
+        batch: Sequence[Scenario] = list(scenarios)
+        store = store if store is not None else self.store
+        resume = self.resume if resume is None else resume
+        report = RunReport(jobs=self.jobs)
+        result_dicts: List[Optional[dict]] = [None] * len(batch)
+
+        # Serve warm points from the store first (records that are
+        # missing or unreadable — torn file, foreign schema — simply
+        # count as cold and are recomputed).
+        pending: List[int] = []
+        for i, scenario in enumerate(batch):
+            cached = (
+                store.load_dict(scenario)
+                if resume and store is not None
+                else None
+            )
+            if cached is not None:
+                result_dicts[i] = cached
+                report.cached += 1
+            else:
+                pending.append(i)
+
+        # Fan the cold points out (or run them inline for jobs=1).
+        # Results are recorded in the store as each one lands, so an
+        # interrupted run keeps its completed prefix for --resume.
+        def consume(computed) -> None:
+            for i, result_dict in zip(pending, computed):
+                result_dicts[i] = result_dict
+                if store is not None:
+                    store.put_dict(batch[i], result_dict)
+
+        payloads = [batch[i].to_dict() for i in pending]
+        if len(payloads) <= 1 or self.jobs == 1:
+            consume(map(_execute_payload, payloads))
+        else:
+            workers = min(self.jobs, len(payloads))
+            with multiprocessing.Pool(processes=workers) as pool:
+                consume(pool.imap(_execute_payload, payloads, chunksize=1))
+        report.executed = len(payloads)
+
+        report.result_dicts = result_dicts  # type: ignore[assignment]
+        report.results = [
+            result_from_dict(scenario, result_dict)
+            for scenario, result_dict in zip(batch, result_dicts)
+        ]
+        return report
+
+
+def run_scenarios(
+    scenarios: Iterable[Scenario],
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    resume: bool = False,
+) -> RunReport:
+    """One-shot convenience wrapper around :class:`ParallelExecutor`."""
+    return ParallelExecutor(jobs=jobs).run(scenarios, store=store, resume=resume)
+
+
+def run_specs(
+    specs: Iterable[Any],
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    resume: bool = False,
+) -> List[Any]:
+    """Run bare spec dataclasses (BenchSpec / PatternConfig mixes are
+    fine) and return their native results in submission order."""
+    scenarios = [scenario_for(spec) for spec in specs]
+    return run_scenarios(
+        scenarios, jobs=jobs, store=store, resume=resume
+    ).results

@@ -1,0 +1,248 @@
+"""The declarative scenario protocol: one grid language for every run.
+
+Every result in the reproduction is a point on a grid of independent
+simulated runs — approaches × sizes × threads × noise × ... — yet the
+two benchmark families historically spoke different dialects
+(:class:`~repro.bench.harness.BenchSpec` for the two-rank Fig. 3 harness,
+:class:`~repro.apps.base.PatternConfig` for N-rank application
+patterns).  A :class:`Scenario` wraps either behind one serializable
+protocol:
+
+* ``to_dict()`` / ``from_dict()`` round-trip the full spec (including
+  the nested :class:`~repro.net.params.SystemParams` machine model and
+  :class:`~repro.mpi.cvars.Cvars` runtime knobs);
+* ``content_hash()`` is a stable SHA-256 over the canonical JSON form,
+  addressing the scenario in a :class:`~repro.runner.store.ResultStore`;
+* :func:`execute` runs the point; :func:`result_to_dict` /
+  :func:`result_from_dict` serialize the outcome (statistics are
+  recomputed on load, never trusted from the file).
+
+A :class:`ScenarioGrid` expands axis specs into scenarios in a
+deterministic order (row-major over the axes in declaration order), so
+grid expansion — and therefore result ordering — is reproducible.
+
+Imports of the bench/apps layers happen lazily inside functions: the
+sweep modules of both layers submit their grids here, and eager imports
+would cycle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Mapping, Sequence, Tuple
+
+__all__ = [
+    "SCHEMA",
+    "Scenario",
+    "ScenarioGrid",
+    "scenario_for",
+    "execute",
+    "result_to_dict",
+    "result_from_dict",
+]
+
+#: Version tag baked into every serialized scenario (and therefore into
+#: every content hash): bumping it invalidates caches when the scenario
+#: semantics change.
+SCHEMA = "repro.runner/v1"
+
+#: Scenario kinds and the spec dataclass each one wraps.
+KIND_BENCH = "bench"
+KIND_PATTERN = "pattern"
+
+
+def _spec_types() -> Dict[str, type]:
+    from ..apps.base import PatternConfig
+    from ..bench.harness import BenchSpec
+
+    return {KIND_BENCH: BenchSpec, KIND_PATTERN: PatternConfig}
+
+
+def _rebuild_spec(kind: str, fields: Mapping[str, Any]):
+    from ..mpi import Cvars
+    from ..net import SystemParams
+
+    types = _spec_types()
+    if kind not in types:
+        raise ValueError(f"unknown scenario kind {kind!r}")
+    data = dict(fields)
+    data["params"] = SystemParams(**data["params"])
+    data["cvars"] = Cvars(**data["cvars"])
+    return types[kind](**data)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One grid point: a kind tag plus its frozen spec dataclass."""
+
+    kind: str
+    spec: Any  # BenchSpec | PatternConfig (both frozen dataclasses)
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe canonical form (nested params/cvars as dicts)."""
+        return {
+            "schema": SCHEMA,
+            "kind": self.kind,
+            "spec": dataclasses.asdict(self.spec),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Scenario":
+        """Inverse of :meth:`to_dict`."""
+        if payload.get("schema") != SCHEMA:
+            raise ValueError(
+                f"unrecognized scenario schema {payload.get('schema')!r}"
+            )
+        kind = payload["kind"]
+        return cls(kind=kind, spec=_rebuild_spec(kind, payload["spec"]))
+
+    def canonical_json(self) -> str:
+        """Canonical JSON: sorted keys, no whitespace — the hash input."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    def content_hash(self) -> str:
+        """Stable SHA-256 hex digest of the canonical form."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+def scenario_for(spec: Any) -> Scenario:
+    """Wrap a bare spec dataclass, inferring its kind from the type."""
+    for kind, typ in _spec_types().items():
+        if isinstance(spec, typ):
+            return Scenario(kind=kind, spec=spec)
+    raise TypeError(f"not a known scenario spec: {spec!r}")
+
+
+# -- execution ---------------------------------------------------------------
+
+def execute(scenario: Scenario):
+    """Run one scenario, returning its native result object."""
+    if scenario.kind == KIND_BENCH:
+        from ..bench.harness import run_benchmark
+
+        return run_benchmark(scenario.spec)
+    if scenario.kind == KIND_PATTERN:
+        from ..apps.base import run_pattern
+
+        return run_pattern(scenario.spec)
+    raise ValueError(f"unknown scenario kind {scenario.kind!r}")
+
+
+def result_to_dict(scenario: Scenario, result: Any) -> dict:
+    """Serialize a result: raw samples plus kind-specific extras.
+
+    Derived statistics are deliberately omitted — they are recomputed by
+    :func:`result_from_dict`, so a store never serves stale stats.
+    """
+    if scenario.kind == KIND_BENCH:
+        return {
+            "times": [float(t) for t in result.times],
+            "retries": int(result.retries),
+            "verified": bool(result.verified),
+        }
+    return {
+        "times": [float(t) for t in result.times],
+        "bytes_per_iteration": int(result.bytes_per_iteration),
+        "n_links": int(result.n_links),
+    }
+
+
+def result_from_dict(scenario: Scenario, payload: Mapping[str, Any]):
+    """Rebuild the native result object for ``scenario`` from a dict."""
+    from ..bench.stats import summarize
+
+    times = [float(t) for t in payload["times"]]
+    if scenario.kind == KIND_BENCH:
+        from ..bench.harness import BenchResult
+
+        return BenchResult(
+            spec=scenario.spec,
+            times=times,
+            stats=summarize(times),
+            retries=int(payload["retries"]),
+            verified=bool(payload["verified"]),
+        )
+    from ..apps.base import PatternResult
+
+    return PatternResult(
+        config=scenario.spec,
+        times=times,
+        stats=summarize(times),
+        bytes_per_iteration=int(payload["bytes_per_iteration"]),
+        n_links=int(payload["n_links"]),
+    )
+
+
+# -- grids -------------------------------------------------------------------
+
+class ScenarioGrid:
+    """Declarative cross-product of scenario axes.
+
+    Parameters
+    ----------
+    kind:
+        ``"bench"`` or ``"pattern"``.
+    base:
+        Fixed spec fields shared by every point (e.g. ``iterations``,
+        ``params``, ``cvars``).
+    axes:
+        Ordered mapping of spec field → sequence of values.  Expansion
+        is row-major in declaration order: the last axis varies fastest.
+
+    Example
+    -------
+    >>> grid = ScenarioGrid(
+    ...     "bench",
+    ...     base={"iterations": 3},
+    ...     axes={"approach": ["pt2pt_single", "pt2pt_part"],
+    ...           "total_bytes": [1024, 4096]},
+    ... )
+    >>> len(grid)
+    4
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        base: Mapping[str, Any] | None = None,
+        axes: Mapping[str, Sequence[Any]] | None = None,
+    ):
+        if kind not in (KIND_BENCH, KIND_PATTERN):
+            raise ValueError(f"unknown scenario kind {kind!r}")
+        self.kind = kind
+        self.base: Dict[str, Any] = dict(base or {})
+        self.axes: Dict[str, Sequence[Any]] = dict(axes or {})
+        for name, values in self.axes.items():
+            if name in self.base:
+                raise ValueError(f"axis {name!r} also fixed in base")
+            if not len(values):
+                raise ValueError(f"axis {name!r} is empty")
+
+    def points(self) -> Iterator[Tuple[Dict[str, Any], "Scenario"]]:
+        """Yield ``(axis_assignment, scenario)`` pairs in grid order."""
+        spec_type = _spec_types()[self.kind]
+        names = list(self.axes)
+        for combo in itertools.product(*(self.axes[n] for n in names)):
+            assignment = dict(zip(names, combo))
+            spec = spec_type(**{**self.base, **assignment})
+            yield assignment, Scenario(kind=self.kind, spec=spec)
+
+    def expand(self) -> List[Scenario]:
+        """All scenarios of the grid, in deterministic row-major order."""
+        return [scenario for _, scenario in self.points()]
+
+    def __len__(self) -> int:
+        n = 1
+        for values in self.axes.values():
+            n *= len(values)
+        return n
+
+    def __repr__(self) -> str:  # pragma: no cover - debug repr
+        dims = "x".join(str(len(v)) for v in self.axes.values()) or "1"
+        return f"<ScenarioGrid {self.kind} {dims} ({len(self)} points)>"

@@ -1,0 +1,144 @@
+"""Content-addressed JSON result cache (the ``--store``/``--resume`` feed).
+
+Layout: one file per scenario under the store root, sharded by hash
+prefix to keep directories small::
+
+    <root>/
+      <kind>/
+        <hh>/<content_hash>.json    # {"schema", "scenario", "result"}
+
+The key is :meth:`Scenario.content_hash` — a SHA-256 over the canonical
+serialized spec, which includes every code-relevant parameter (machine
+model, cvars, seed, iteration counts) plus the scenario schema version.
+Two runs with any differing parameter land in different files; re-runs
+of an identical scenario hit the cache.  Records store raw samples only;
+statistics are recomputed on load.
+
+Writes are atomic (temp file + ``os.replace``), so a store shared by
+parallel workers or interrupted mid-run never holds a torn record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator, Tuple
+
+from .scenario import Scenario, result_from_dict, result_to_dict
+
+__all__ = ["ResultStore"]
+
+_STORE_SCHEMA = "repro.runner.store/v1"
+
+
+class ResultStore:
+    """A directory of content-addressed scenario results."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    # -- addressing ----------------------------------------------------------
+    def path_for(self, scenario: Scenario) -> Path:
+        digest = scenario.content_hash()
+        return self.root / scenario.kind / digest[:2] / f"{digest}.json"
+
+    def __contains__(self, scenario: Scenario) -> bool:
+        return self.path_for(scenario).is_file()
+
+    # -- records -------------------------------------------------------------
+    def put_dict(self, scenario: Scenario, result_dict: dict) -> Path:
+        """Record a serialized result for ``scenario`` (atomic write).
+
+        The temp name is unique per writer, so concurrent processes
+        sharing one store cannot interleave on it; last ``os.replace``
+        wins with a whole record either way.
+        """
+        target = self.path_for(scenario)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": _STORE_SCHEMA,
+            "scenario": scenario.to_dict(),
+            "result": result_dict,
+        }
+        fd, tmp = tempfile.mkstemp(
+            prefix=target.stem + ".", suffix=".tmp", dir=target.parent
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(
+                    json.dumps(payload, sort_keys=True, indent=1) + "\n"
+                )
+            os.replace(tmp, target)
+        except BaseException:
+            os.unlink(tmp)
+            raise
+        return target
+
+    def put(self, scenario: Scenario, result: Any) -> Path:
+        """Record a native result object for ``scenario``."""
+        return self.put_dict(scenario, result_to_dict(scenario, result))
+
+    def get_dict(self, scenario: Scenario) -> dict:
+        """The serialized result recorded for ``scenario``.
+
+        Raises :class:`KeyError` when the scenario has no record.
+        """
+        path = self.path_for(scenario)
+        if not path.is_file():
+            raise KeyError(scenario.content_hash())
+        payload = json.loads(path.read_text())
+        if payload.get("schema") != _STORE_SCHEMA:
+            raise ValueError(
+                f"unrecognized store schema {payload.get('schema')!r} "
+                f"in {path}"
+            )
+        return payload["result"]
+
+    def load_dict(self, scenario: Scenario) -> Any:
+        """Like :meth:`get_dict`, but ``None`` when the record is absent
+        *or* unreadable (torn JSON, foreign schema) — the tolerant read
+        the resume path uses to treat bad records as cache misses."""
+        try:
+            return self.get_dict(scenario)
+        except (KeyError, ValueError):
+            return None
+
+    def get(self, scenario: Scenario) -> Any:
+        """The native result object recorded for ``scenario``."""
+        return result_from_dict(scenario, self.get_dict(scenario))
+
+    # -- enumeration ---------------------------------------------------------
+    def records(self) -> Iterator[Tuple[Scenario, Any]]:
+        """Iterate ``(scenario, result)`` over every stored record,
+        sorted by path for determinism."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*/*/*.json")):
+            payload = json.loads(path.read_text())
+            if payload.get("schema") != _STORE_SCHEMA:
+                continue
+            scenario = Scenario.from_dict(payload["scenario"])
+            yield scenario, result_from_dict(scenario, payload["result"])
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*/*.json"))
+
+    # -- interop -------------------------------------------------------------
+    def pattern_sweep(self):
+        """All stored app-pattern records as a
+        :class:`~repro.apps.sweep.PatternSweep` (the ``BENCH_apps.json``
+        view of the store)."""
+        from ..apps.sweep import PatternSweep
+
+        sweep = PatternSweep()
+        for scenario, result in self.records():
+            if scenario.kind == "pattern":
+                sweep.add(result)
+        return sweep
+
+    def __repr__(self) -> str:  # pragma: no cover - debug repr
+        return f"<ResultStore {str(self.root)!r} records={len(self)}>"

@@ -192,6 +192,8 @@ class Environment:
         Starting value of the simulated clock (seconds).
     """
 
+    __slots__ = ("_now", "_queue", "_eid", "active_process")
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: List = []

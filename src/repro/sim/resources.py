@@ -78,6 +78,8 @@ class Resource:
         resource.release(req)
     """
 
+    __slots__ = ("env", "capacity", "name", "_users", "_waiting", "stats")
+
     def __init__(self, env: Environment, capacity: int = 1, name: str = ""):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -141,6 +143,8 @@ class Resource:
 class Lock(Resource):
     """A capacity-1 resource: a mutex with FIFO handoff."""
 
+    __slots__ = ()
+
     def __init__(self, env: Environment, name: str = ""):
         super().__init__(env, capacity=1, name=name)
 
@@ -155,6 +159,8 @@ class Store:
     ``put`` never blocks; ``get`` returns an event that fires when an item
     is available.  Items are handed to getters in FIFO order.
     """
+
+    __slots__ = ("env", "name", "_items", "_getters")
 
     def __init__(self, env: Environment, name: str = ""):
         self.env = env

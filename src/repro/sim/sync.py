@@ -27,6 +27,8 @@ class SimBarrier:
     event's ``is_last`` attribute-style tuple ``(generation, is_last)``.
     """
 
+    __slots__ = ("env", "parties", "name", "generation", "_arrived", "_event")
+
     def __init__(self, env: Environment, parties: int, name: str = ""):
         if parties < 1:
             raise ValueError("parties must be >= 1")
@@ -62,6 +64,8 @@ class SimBarrier:
 
 class Semaphore:
     """A counting semaphore with FIFO wakeup order."""
+
+    __slots__ = ("env", "name", "_value", "_waiters")
 
     def __init__(self, env: Environment, value: int = 1, name: str = ""):
         if value < 0:
@@ -102,6 +106,8 @@ class CountdownLatch:
     caller (the one that took the counter to zero).
     """
 
+    __slots__ = ("env", "name", "_count", "done")
+
     def __init__(self, env: Environment, count: int, name: str = ""):
         if count < 0:
             raise ValueError("count must be >= 0")
@@ -135,6 +141,8 @@ class CountdownLatch:
 
 class Signal:
     """A broadcast pulse: every current waiter is woken by :meth:`fire`."""
+
+    __slots__ = ("env", "name", "_event")
 
     def __init__(self, env: Environment, name: str = ""):
         self.env = env

@@ -37,13 +37,12 @@ class TestSizeGrid:
         with pytest.raises(ValueError):
             size_grid(3, 3, multiple_of=1024)
 
-    def test_points_per_decade_deprecated(self):
-        with pytest.warns(DeprecationWarning):
-            grid = size_grid(16, 128, points_per_decade=5)
-        # Still has no effect: the grid stays per-octave.
-        assert grid == [16, 32, 64, 128]
+    def test_points_per_decade_removed(self):
+        # The deprecated no-op parameter is gone (removed as announced).
+        with pytest.raises(TypeError):
+            size_grid(16, 128, points_per_decade=5)
 
-    def test_no_warning_by_default(self):
+    def test_no_warning(self):
         import warnings
 
         with warnings.catch_warnings():

@@ -1,0 +1,141 @@
+"""Executor: parallel-equals-serial determinism, caching, resume."""
+
+import pytest
+
+from repro.apps import PatternConfig
+from repro.bench import BenchSpec
+from repro.runner import (
+    ParallelExecutor,
+    ResultStore,
+    ScenarioGrid,
+    run_scenarios,
+    run_specs,
+    scenario_for,
+)
+
+
+def mixed_grid():
+    """A small bench × pattern mix: the fixed determinism fixture."""
+    bench = ScenarioGrid(
+        "bench",
+        base={"iterations": 2, "n_threads": 2, "theta": 1},
+        axes={
+            "approach": ["pt2pt_single", "pt2pt_part", "pt2pt_many"],
+            "total_bytes": [1024, 65536],
+        },
+    )
+    pattern = ScenarioGrid(
+        "pattern",
+        base={
+            "n_ranks": 4,
+            "n_threads": 2,
+            "msg_bytes": 4096,
+            "iterations": 2,
+            "compute_us_per_mb": 200.0,
+        },
+        axes={
+            "pattern": ["halo3d", "fft"],
+            "approach": ["pt2pt_part", "pt2pt_single"],
+        },
+    )
+    return bench.expand() + pattern.expand()
+
+
+class TestDeterminism:
+    def test_parallel_identical_to_serial(self):
+        scenarios = mixed_grid()
+        serial = run_scenarios(scenarios, jobs=1)
+        parallel = run_scenarios(scenarios, jobs=4)
+        assert serial.jobs == 1 and parallel.jobs == 4
+        # Byte-identical serialized results, point for point.
+        assert serial.canonical_json() == parallel.canonical_json()
+
+    def test_results_in_submission_order(self):
+        specs = [
+            BenchSpec(
+                approach="pt2pt_single", total_bytes=size, iterations=1
+            )
+            for size in (65536, 64, 16384, 1024)
+        ]
+        results = run_specs(specs, jobs=3)
+        assert [r.spec.total_bytes for r in results] == [
+            65536, 64, 16384, 1024,
+        ]
+
+    def test_mixed_specs_accepted(self):
+        results = run_specs(
+            [
+                BenchSpec(
+                    approach="pt2pt_single", total_bytes=64, iterations=1
+                ),
+                PatternConfig(
+                    pattern="halo3d",
+                    n_ranks=4,
+                    n_threads=1,
+                    msg_bytes=1024,
+                    iterations=1,
+                ),
+            ],
+            jobs=1,
+        )
+        assert results[0].spec.total_bytes == 64
+        assert results[1].config.pattern == "halo3d"
+
+
+class TestStoreAndResume:
+    def test_store_populated_on_run(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        scenarios = mixed_grid()
+        report = run_scenarios(scenarios, jobs=1, store=store)
+        assert report.executed == len(scenarios)
+        assert len(store) == len(scenarios)
+
+    def test_resume_runs_nothing_on_warm_store(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        scenarios = mixed_grid()
+        cold = run_scenarios(scenarios, jobs=1, store=store)
+        warm = run_scenarios(scenarios, jobs=1, store=store, resume=True)
+        assert warm.executed == 0
+        assert warm.cached == len(scenarios)
+        assert warm.canonical_json() == cold.canonical_json()
+
+    def test_partial_resume_runs_only_cold_points(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        scenarios = mixed_grid()
+        half = scenarios[: len(scenarios) // 2]
+        run_scenarios(half, jobs=1, store=store)
+        report = run_scenarios(scenarios, jobs=1, store=store, resume=True)
+        assert report.cached == len(half)
+        assert report.executed == len(scenarios) - len(half)
+
+    def test_without_resume_store_is_write_only(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        scenario = scenario_for(
+            BenchSpec(approach="pt2pt_single", total_bytes=64, iterations=1)
+        )
+        run_scenarios([scenario], jobs=1, store=store)
+        report = run_scenarios([scenario], jobs=1, store=store)
+        assert report.executed == 1  # recomputed despite the warm store
+        assert report.cached == 0
+
+
+class TestExecutorConfig:
+    def test_jobs_default_is_cpu_count(self):
+        import os
+
+        assert ParallelExecutor().jobs == (os.cpu_count() or 1)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=0)
+
+    def test_constructor_defaults_used_by_run(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        executor = ParallelExecutor(jobs=1, store=store, resume=True)
+        scenario = scenario_for(
+            BenchSpec(approach="pt2pt_single", total_bytes=64, iterations=1)
+        )
+        first = executor.run([scenario])
+        second = executor.run([scenario])
+        assert first.executed == 1
+        assert second.executed == 0 and second.cached == 1

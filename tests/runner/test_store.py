@@ -1,0 +1,131 @@
+"""ResultStore: content-addressed persistence, round-trips, interop."""
+
+import json
+
+import pytest
+
+from repro.apps import PatternConfig
+from repro.bench import BenchSpec
+from repro.runner import ResultStore, execute, scenario_for
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+@pytest.fixture(scope="module")
+def bench_point():
+    scenario = scenario_for(
+        BenchSpec(approach="pt2pt_single", total_bytes=256, iterations=2)
+    )
+    return scenario, execute(scenario)
+
+
+@pytest.fixture(scope="module")
+def pattern_point():
+    scenario = scenario_for(
+        PatternConfig(
+            pattern="halo3d",
+            approach="pt2pt_part",
+            n_ranks=4,
+            n_threads=2,
+            msg_bytes=4096,
+            iterations=2,
+        )
+    )
+    return scenario, execute(scenario)
+
+
+class TestRoundTrip:
+    def test_bench_result_round_trip(self, store, bench_point):
+        scenario, result = bench_point
+        assert scenario not in store
+        store.put(scenario, result)
+        assert scenario in store
+        loaded = store.get(scenario)
+        assert loaded.times == result.times
+        assert loaded.stats.mean == result.stats.mean
+        assert loaded.spec == scenario.spec
+        assert loaded.retries == result.retries
+        assert loaded.verified == result.verified
+
+    def test_pattern_result_round_trip(self, store, pattern_point):
+        scenario, result = pattern_point
+        store.put(scenario, result)
+        loaded = store.get(scenario)
+        assert loaded.times == result.times
+        assert loaded.bytes_per_iteration == result.bytes_per_iteration
+        assert loaded.n_links == result.n_links
+        assert loaded.config == scenario.spec
+
+    def test_missing_record_raises(self, store, bench_point):
+        scenario, _ = bench_point
+        with pytest.raises(KeyError):
+            store.get(scenario)
+
+    def test_bad_schema_rejected(self, store, bench_point):
+        scenario, result = bench_point
+        path = store.put(scenario, result)
+        payload = json.loads(path.read_text())
+        payload["schema"] = "bogus"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError):
+            store.get(scenario)
+
+    def test_load_dict_treats_bad_records_as_misses(self, store, bench_point):
+        scenario, result = bench_point
+        assert store.load_dict(scenario) is None  # absent
+        path = store.put(scenario, result)
+        assert store.load_dict(scenario) is not None
+        path.write_text("{ torn")  # unreadable
+        assert store.load_dict(scenario) is None
+
+    def test_resume_recomputes_over_torn_record(self, store, bench_point):
+        from repro.runner import run_scenarios
+
+        scenario, result = bench_point
+        path = store.put(scenario, result)
+        path.write_text("{ torn")
+        report = run_scenarios([scenario], jobs=1, store=store, resume=True)
+        assert report.executed == 1 and report.cached == 0
+        assert store.get(scenario).times == result.times  # repaired
+
+
+class TestLayout:
+    def test_content_addressed_paths(self, store, bench_point):
+        scenario, result = bench_point
+        path = store.put(scenario, result)
+        digest = scenario.content_hash()
+        assert path.name == f"{digest}.json"
+        assert path.parent.name == digest[:2]
+        assert path.parent.parent.name == "bench"
+
+    def test_no_temp_files_left_behind(self, store, bench_point):
+        scenario, result = bench_point
+        store.put(scenario, result)
+        assert not list(store.root.rglob("*.tmp"))
+
+    def test_len_and_records(self, store, bench_point, pattern_point):
+        assert len(store) == 0
+        store.put(*bench_point)
+        store.put(*pattern_point)
+        assert len(store) == 2
+        kinds = {s.kind for s, _ in store.records()}
+        assert kinds == {"bench", "pattern"}
+
+    def test_overwrite_is_idempotent(self, store, bench_point):
+        scenario, result = bench_point
+        store.put(scenario, result)
+        store.put(scenario, result)
+        assert len(store) == 1
+
+
+class TestInterop:
+    def test_pattern_sweep_view(self, store, bench_point, pattern_point):
+        store.put(*bench_point)
+        store.put(*pattern_point)
+        sweep = store.pattern_sweep()
+        # Only the pattern record lands in the BENCH_apps-style sweep.
+        assert len(sweep) == 1
+        assert sweep.patterns() == ["halo3d"]

@@ -1,0 +1,66 @@
+"""The refactored sweep layers produce identical data through the runner."""
+
+from repro.apps import PatternConfig, sweep_patterns
+from repro.bench import BenchSpec, sweep_approaches
+from repro.figures import fig4_improvement
+from repro.runner import ResultStore
+
+
+class TestBenchSweep:
+    def test_parallel_sweep_matches_serial(self):
+        base = BenchSpec(
+            approach="pt2pt_single", total_bytes=64, iterations=2
+        )
+        serial = sweep_approaches(
+            base, ["pt2pt_single", "pt2pt_part"], [64, 4096], jobs=1
+        )
+        parallel = sweep_approaches(
+            base, ["pt2pt_single", "pt2pt_part"], [64, 4096], jobs=2
+        )
+        assert len(serial) == len(parallel) == 4
+        for approach in serial.approaches():
+            for size in serial.sizes(approach):
+                assert (
+                    serial.get(approach, size).times
+                    == parallel.get(approach, size).times
+                )
+
+
+class TestPatternSweep:
+    def test_sweep_patterns_through_store(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        configs = [
+            PatternConfig(
+                pattern="halo3d",
+                approach=name,
+                n_ranks=4,
+                n_threads=2,
+                msg_bytes=4096,
+                iterations=2,
+            )
+            for name in ("pt2pt_part", "pt2pt_single")
+        ]
+        sweep = sweep_patterns(configs, jobs=1, store=store)
+        assert len(sweep) == 2
+        assert len(store) == 2
+        # Resumed sweep reloads the same points from the store.
+        again = sweep_patterns(configs, jobs=1, store=store, resume=True)
+        for config in configs:
+            assert again.get(config).times == sweep.get(config).times
+        # The store's BENCH_apps-style view holds the same records.
+        assert len(store.pattern_sweep()) == 2
+
+
+class TestFigureDrivers:
+    def test_quick_figure_resumes_from_store(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        cold = fig4_improvement.run(
+            iterations=2, quick=True, jobs=1, store=store
+        )
+        n_points = len(cold.sweep)
+        assert len(store) == n_points
+        warm = fig4_improvement.run(
+            iterations=2, quick=True, jobs=1, store=store, resume=True
+        )
+        assert warm.headline == cold.headline
+        assert len(store) == n_points  # nothing new was computed
