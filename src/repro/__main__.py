@@ -1,10 +1,12 @@
 """Command-line entry point.
 
-Three subcommands::
+Five subcommands::
 
     python -m repro figures [...]      # regenerate the paper's tables/figures
     python -m repro apps [...]         # N-rank application patterns
     python -m repro runner-bench [...] # time the runner serial vs parallel
+    python -m repro backend-bench [...]# time sim vs analytic per grid size
+    python -m repro store DIR [...]    # result-store stats / maintenance
 
 Invocations without a subcommand keep the historical behavior and run
 ``figures``::
@@ -14,14 +16,20 @@ Invocations without a subcommand keep the historical behavior and run
     python -m repro --iters 30      # more iterations per point
     python -m repro --only fig5     # a single figure
 
-Every simulated grid goes through the unified scenario runner
+Every grid goes through the unified scenario runner
 (:mod:`repro.runner`); ``figures`` and ``apps`` both accept
 
 * ``--jobs N`` — fan the grid out over N worker processes (0 = one per
   CPU; 1 = in-process serial, the default);
 * ``--store DIR`` — record every point in a content-addressed result
   store;
-* ``--resume`` — skip points already present in ``--store``.
+* ``--resume`` — skip points already present in ``--store``;
+* ``--backend {sim,analytic,both}`` — execute via the discrete-event
+  simulator (default), the closed-form analytic model (microseconds
+  per point), or both: ``both`` regenerates the grid under each
+  backend and prints the cross-validation report (per-point relative
+  error, worst offender); the exit code is non-zero when any point
+  exceeds its documented tolerance.
 
 Application patterns (Halo3D / Sweep3D / FFT transpose)::
 
@@ -29,6 +37,12 @@ Application patterns (Halo3D / Sweep3D / FFT transpose)::
     python -m repro apps --pattern sweep3d --approach all --noise gaussian
     python -m repro apps --pattern fft --size 1048576 --json results.json
     python -m repro apps --pattern halo3d --jobs 0 --store runs/ --resume
+    python -m repro apps --pattern halo3d --backend both
+
+Store maintenance::
+
+    python -m repro store runs/            # records per kind/backend, size
+    python -m repro store runs/ --prune    # drop records that no longer parse
 """
 
 from __future__ import annotations
@@ -64,7 +78,9 @@ def _figures_parser(top_level: bool = False) -> argparse.ArgumentParser:
         description="Regenerate the paper's tables and figures.",
         epilog=(
             "subcommands: 'figures' (this, the default), 'apps' — N-rank "
-            "application patterns, and 'runner-bench' — runner timings; "
+            "application patterns, 'runner-bench' — runner timings, "
+            "'backend-bench' — sim vs analytic timings, and 'store' — "
+            "result-store maintenance; "
             "see 'python -m repro <subcommand> --help'."
         ) if top_level else None,
     )
@@ -91,6 +107,11 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
                        help="content-addressed result store directory")
     group.add_argument("--resume", action="store_true",
                        help="skip scenarios already in --store")
+    group.add_argument("--backend", default="sim",
+                       choices=["sim", "analytic", "both"],
+                       help="execution backend: full simulation "
+                            "(default), the closed-form analytic model, "
+                            "or 'both' with a cross-validation report")
 
 
 def _runner_kwargs(args, parser: argparse.ArgumentParser) -> dict:
@@ -119,15 +140,35 @@ def _run_figures(args, parser) -> int:
     selected = (
         [_DRIVERS[args.only]] if args.only else list(_DRIVERS.values())
     )
+    crossval_failed = False
     for driver in selected:
         t0 = time.time()
-        data = driver.run(
-            iterations=args.iters, quick=not args.full, **runner_kwargs
-        )
-        print("\n" + "=" * 72)
-        print(driver.report(data))
+        if args.backend == "both":
+            from .backends import compare_bench_sweeps
+
+            sim_data = driver.run(
+                iterations=args.iters, quick=not args.full,
+                backend="sim", **runner_kwargs
+            )
+            analytic_data = driver.run(
+                iterations=args.iters, quick=not args.full,
+                backend="analytic", **runner_kwargs
+            )
+            report = compare_bench_sweeps(sim_data.sweep, analytic_data.sweep)
+            crossval_failed |= not report.passed
+            print("\n" + "=" * 72)
+            print(driver.report(sim_data))
+            print()
+            print(report.to_text())
+        else:
+            data = driver.run(
+                iterations=args.iters, quick=not args.full,
+                backend=args.backend, **runner_kwargs
+            )
+            print("\n" + "=" * 72)
+            print(driver.report(data))
         print(f"[regenerated in {time.time() - t0:.1f}s]")
-    return 0
+    return 1 if crossval_failed else 0
 
 
 def _apps_parser() -> argparse.ArgumentParser:
@@ -218,7 +259,17 @@ def _run_apps(args, parser) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     # The whole approach list is one runner batch (parallel fan-out).
-    sweep = sweep_patterns(configs, **runner_kwargs)
+    crossval_report = None
+    if args.backend == "both":
+        from .backends import compare_pattern_sweeps
+
+        sweep = sweep_patterns(configs, backend="sim", **runner_kwargs)
+        analytic_sweep = sweep_patterns(
+            configs, backend="analytic", **runner_kwargs
+        )
+        crossval_report = compare_pattern_sweeps(sweep, analytic_sweep)
+    else:
+        sweep = sweep_patterns(configs, backend=args.backend, **runner_kwargs)
     results = {
         config.approach: sweep.get(config) for config in configs
     }
@@ -248,11 +299,27 @@ def _run_apps(args, parser) -> int:
     print(f"\n(eta = {_BASELINE} mean / approach mean; > 1 means faster "
           f"than the bulk-synchronous baseline)")
 
+    if crossval_report is not None:
+        print()
+        print(crossval_report.to_text())
+
     if not args.no_json:
-        path = args.json if args.json else DEFAULT_JSON_PATH
-        target = sweep.save(path)
+        # The sweep holds sim results for both `sim` and `both`; a pure
+        # analytic run lands in its own default file (and is tagged in
+        # the payload either way), so model predictions never clobber
+        # the simulated BENCH_apps.json feed unnoticed.
+        saved_backend = "sim" if args.backend == "both" else args.backend
+        default_path = (
+            DEFAULT_JSON_PATH
+            if saved_backend == "sim"
+            else "BENCH_apps_analytic.json"
+        )
+        path = args.json if args.json else default_path
+        target = sweep.save(path, backend=saved_backend)
         print(f"[sweep persisted to {target}]")
-    return 0
+    return (
+        1 if crossval_report is not None and not crossval_report.passed else 0
+    )
 
 
 def _runner_bench_parser() -> argparse.ArgumentParser:
@@ -265,6 +332,9 @@ def _runner_bench_parser() -> argparse.ArgumentParser:
                         help="parallel worker count (0 = one per CPU)")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="persistence path (default BENCH_runner.json)")
+    parser.add_argument("--backend", default="sim",
+                        choices=["sim", "analytic"],
+                        help="execution backend the grid runs under")
     return parser
 
 
@@ -273,16 +343,79 @@ def _run_runner_bench(args) -> int:
 
     path = args.json if args.json else DEFAULT_JSON_PATH
     payload = benchmark_runner(
-        jobs=args.jobs if args.jobs > 0 else None, path=path
+        jobs=args.jobs if args.jobs > 0 else None, path=path,
+        backend=args.backend,
     )
     print(
-        f"{payload['n_scenarios']} scenarios: "
+        f"{payload['n_scenarios']} scenarios ({payload['backend']}): "
         f"jobs=1 {payload['serial']['wall_s']:.2f}s, "
         f"jobs={payload['parallel']['jobs']} "
         f"{payload['parallel']['wall_s']:.2f}s "
         f"(speedup x{payload['speedup']:.2f})"
     )
     print(f"[timings persisted to {path}]")
+    return 0
+
+
+def _backend_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro backend-bench",
+        description="Time identical grids under the sim and analytic "
+                    "backends and persist BENCH_backends.json.",
+    )
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="persistence path (default BENCH_backends.json)")
+    return parser
+
+
+def _run_backend_bench(args) -> int:
+    from .backends.benchmark import DEFAULT_JSON_PATH, benchmark_backends
+
+    path = args.json if args.json else DEFAULT_JSON_PATH
+    payload = benchmark_backends(path=path)
+    for record in payload["grids"]:
+        print(
+            f"{record['n_scenarios']:4d} scenarios: "
+            f"sim {record['sim_wall_s']:8.3f}s, "
+            f"analytic {record['analytic_wall_s']:8.5f}s "
+            f"(speedup x{record['speedup']:.0f})"
+        )
+    print(f"minimum speedup: x{payload['min_speedup']:.0f}")
+    print(f"[timings persisted to {path}]")
+    return 0
+
+
+def _store_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro store",
+        description="Result-store maintenance: record counts per "
+                    "kind/backend, total size, and --prune for records "
+                    "whose spec no longer round-trips.",
+    )
+    parser.add_argument("dir", metavar="DIR",
+                        help="result store directory")
+    parser.add_argument("--prune", action="store_true",
+                        help="delete records that no longer round-trip "
+                             "(torn writes, stale schema versions)")
+    return parser
+
+
+def _run_store(args) -> int:
+    from .runner import ResultStore
+
+    store = ResultStore(args.dir)
+    stats = store.stats()
+    print(f"store {stats['root']}: {stats['records']} records, "
+          f"{stats['total_bytes']} bytes")
+    for group, count in stats["per_kind_backend"].items():
+        print(f"  {group:>20}: {count}")
+    if stats["broken"]:
+        print(f"  {'broken':>20}: {len(stats['broken'])}")
+        for rel in stats["broken"]:
+            print(f"    {rel}")
+    if args.prune:
+        removed = store.prune(broken=stats["broken"])
+        print(f"pruned {len(removed)} record(s)")
     return 0
 
 
@@ -296,6 +429,10 @@ def main(argv=None) -> int:
         return _run_figures(parser.parse_args(argv[1:]), parser)
     if argv and argv[0] == "runner-bench":
         return _run_runner_bench(_runner_bench_parser().parse_args(argv[1:]))
+    if argv and argv[0] == "backend-bench":
+        return _run_backend_bench(_backend_bench_parser().parse_args(argv[1:]))
+    if argv and argv[0] == "store":
+        return _run_store(_store_parser().parse_args(argv[1:]))
     # No subcommand: historical figure-regeneration behavior.
     parser = _figures_parser(top_level=True)
     return _run_figures(parser.parse_args(argv), parser)

@@ -94,8 +94,13 @@ class PatternSweep:
         return len(self._results)
 
     # -- persistence ----------------------------------------------------------
-    def to_json(self) -> dict:
-        """A JSON-serializable snapshot of every recorded point."""
+    def to_json(self, backend: Optional[str] = None) -> dict:
+        """A JSON-serializable snapshot of every recorded point.
+
+        ``backend`` labels how the points were produced (``sim`` /
+        ``analytic``), so a persisted sweep of model predictions can
+        never masquerade as simulated measurements.
+        """
         records = []
         for result in self._results.values():
             # asdict recurses into the nested params/cvars dataclasses.
@@ -108,7 +113,10 @@ class PatternSweep:
                     "n_links": result.n_links,
                 }
             )
-        return {"schema": _SCHEMA, "results": records}
+        payload = {"schema": _SCHEMA, "results": records}
+        if backend is not None:
+            payload["backend"] = backend
+        return payload
 
     @classmethod
     def from_json(cls, payload: dict) -> "PatternSweep":
@@ -141,10 +149,16 @@ class PatternSweep:
             sweep.add(result_from_dict(scenario, record))
         return sweep
 
-    def save(self, path: str | Path = DEFAULT_JSON_PATH) -> Path:
+    def save(
+        self,
+        path: str | Path = DEFAULT_JSON_PATH,
+        backend: Optional[str] = None,
+    ) -> Path:
         """Write the sweep to ``path`` (default ``BENCH_apps.json``)."""
         target = Path(path)
-        target.write_text(json.dumps(self.to_json(), indent=2) + "\n")
+        target.write_text(
+            json.dumps(self.to_json(backend=backend), indent=2) + "\n"
+        )
         return target
 
     @classmethod
@@ -158,18 +172,21 @@ def sweep_patterns(
     jobs: int = 1,
     store=None,
     resume: bool = False,
+    backend: str = "sim",
 ) -> PatternSweep:
     """Run every config into one sweep via the unified runner.
 
     The whole batch is submitted at once, so ``jobs > 1`` fans the
     configs out across cores; ``store``/``resume`` enable the runner's
-    content-addressed cache (see :class:`repro.runner.ResultStore`).
+    content-addressed cache (see :class:`repro.runner.ResultStore`);
+    ``backend="analytic"`` uses the first-order pattern model instead
+    of the simulator.
     """
     from ..runner import run_specs
 
     sweep = PatternSweep()
     for result in run_specs(
-        list(configs), jobs=jobs, store=store, resume=resume
+        list(configs), jobs=jobs, store=store, resume=resume, backend=backend
     ):
         sweep.add(result)
     return sweep

@@ -1,0 +1,80 @@
+"""The analytic execution backend: closed-form results in microseconds.
+
+Maps a scenario through the extended performance model
+(:func:`repro.model.approaches.predict_bench_time` /
+:func:`repro.model.patterns.predict_pattern_time`) and wraps the
+prediction in the same native result object the simulator produces, so
+every consumer — sweeps, figures, stores, reports — works unchanged.
+
+The model is deterministic, so a point's ``iterations`` samples are all
+identical (zero variance, like a converged simulated run) and the whole
+run never instantiates a simulation :class:`~repro.sim.core.Environment`
+(asserted by the backend test suite via
+``Environment.instances_created``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .base import BACKEND_ANALYTIC, Backend, register_backend
+
+__all__ = ["AnalyticBackend"]
+
+
+@register_backend
+class AnalyticBackend(Backend):
+    """Runs a scenario through the closed-form model."""
+
+    name = BACKEND_ANALYTIC
+    inline = True
+
+    def supports(self, scenario: Any) -> bool:
+        from ..runner.scenario import KIND_BENCH, KIND_PATTERN
+
+        if scenario.kind == KIND_BENCH:
+            from ..model.approaches import APPROACH_PREDICTORS
+
+            return scenario.spec.approach in APPROACH_PREDICTORS
+        return scenario.kind == KIND_PATTERN
+
+    def run(self, scenario: Any) -> Any:
+        from ..runner.scenario import KIND_BENCH, KIND_PATTERN
+
+        if scenario.kind == KIND_BENCH:
+            return self._run_bench(scenario.spec)
+        if scenario.kind == KIND_PATTERN:
+            return self._run_pattern(scenario.spec)
+        raise ValueError(f"unknown scenario kind {scenario.kind!r}")
+
+    # ------------------------------------------------------------------
+    def _run_bench(self, spec: Any) -> Any:
+        from ..bench.harness import BenchResult
+        from ..bench.stats import summarize
+        from ..model.approaches import predict_bench_time
+
+        prediction = predict_bench_time(spec)
+        times = [prediction.time] * spec.iterations
+        return BenchResult(
+            spec=spec,
+            times=times,
+            stats=summarize(times),
+            retries=0,
+            verified=True,
+        )
+
+    def _run_pattern(self, config: Any) -> Any:
+        from ..apps.base import PatternResult, build_pattern
+        from ..bench.stats import summarize
+        from ..model.patterns import predict_pattern_time
+
+        pattern = build_pattern(config)
+        prediction = predict_pattern_time(config, pattern=pattern)
+        times = [prediction.time] * config.iterations
+        return PatternResult(
+            config=config,
+            times=times,
+            stats=summarize(times),
+            bytes_per_iteration=pattern.bytes_per_iteration(),
+            n_links=len(pattern.links()),
+        )

@@ -1,0 +1,39 @@
+"""The discrete-event simulation backend (the historical default)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .base import BACKEND_SIM, Backend, register_backend
+
+__all__ = ["SimBackend"]
+
+
+@register_backend
+class SimBackend(Backend):
+    """Runs a scenario through the full simulator.
+
+    ``bench`` scenarios go to :func:`repro.bench.harness.run_benchmark`
+    (the two-rank Fig. 3 harness), ``pattern`` scenarios to
+    :func:`repro.apps.base.run_pattern` (the N-rank application
+    harness).  Every point builds its own
+    :class:`~repro.mpi.world.MPIWorld`, so simulated batches are
+    embarrassingly parallel — the executor fans them out over a
+    process pool.
+    """
+
+    name = BACKEND_SIM
+    inline = False
+
+    def run(self, scenario: Any) -> Any:
+        from ..runner.scenario import KIND_BENCH, KIND_PATTERN
+
+        if scenario.kind == KIND_BENCH:
+            from ..bench.harness import run_benchmark
+
+            return run_benchmark(scenario.spec)
+        if scenario.kind == KIND_PATTERN:
+            from ..apps.base import run_pattern
+
+            return run_pattern(scenario.spec)
+        raise ValueError(f"unknown scenario kind {scenario.kind!r}")

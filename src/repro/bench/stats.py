@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
 from scipy import stats as _scipy_stats
@@ -55,9 +56,15 @@ def summarize(samples: Sequence[float], confidence: float = CONFIDENCE) -> Sampl
     std = math.sqrt(var)
     if std == 0.0:
         return SampleStats(n, mean, 0.0, 0.0, min(samples), max(samples))
-    t_crit = float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
-    ci_half = t_crit * std / math.sqrt(n)
+    ci_half = _t_critical(n - 1, confidence) * std / math.sqrt(n)
     return SampleStats(n, mean, std, ci_half, min(samples), max(samples))
+
+
+@lru_cache(maxsize=1024)
+def _t_critical(df: int, confidence: float) -> float:
+    """Cached Student-t critical value (the ppf call dominates
+    ``summarize`` on small sample sets otherwise)."""
+    return float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df=df))
 
 
 def needs_rerun(stats: SampleStats, ci_fraction: float = CI_FRACTION) -> bool:

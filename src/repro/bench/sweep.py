@@ -105,13 +105,16 @@ def sweep_sizes(
     jobs: int = 1,
     store=None,
     resume: bool = False,
+    backend: str = "sim",
 ) -> SweepResult:
     """Run ``base`` across message sizes (one runner submission)."""
     from ..runner import run_specs
 
     result = out if out is not None else SweepResult()
     specs = [replace(base, total_bytes=size) for size in sizes]
-    for r in run_specs(specs, jobs=jobs, store=store, resume=resume):
+    for r in run_specs(
+        specs, jobs=jobs, store=store, resume=resume, backend=backend
+    ):
         result.add(r)
     return result
 
@@ -123,11 +126,14 @@ def sweep_approaches(
     jobs: int = 1,
     store=None,
     resume: bool = False,
+    backend: str = "sim",
 ) -> SweepResult:
     """Run several approaches across message sizes (one figure's data).
 
     The full approaches × sizes grid goes to the runner as one batch, so
-    ``jobs > 1`` parallelizes across the whole figure, not one series.
+    ``jobs > 1`` parallelizes across the whole figure, not one series;
+    ``backend="analytic"`` trades the simulator for the closed-form
+    model (microseconds per point).
     """
     specs = [
         replace(base, approach=name, total_bytes=size)
@@ -137,6 +143,8 @@ def sweep_approaches(
     from ..runner import run_specs
 
     result = SweepResult()
-    for r in run_specs(specs, jobs=jobs, store=store, resume=resume):
+    for r in run_specs(
+        specs, jobs=jobs, store=store, resume=resume, backend=backend
+    ):
         result.add(r)
     return result

@@ -65,6 +65,7 @@ def run_labeled_grid(
     jobs: int = 1,
     store=None,
     resume: bool = False,
+    backend: str = "sim",
 ) -> FigureData:
     """Run explicit ``(label, BenchSpec)`` points as one runner batch.
 
@@ -76,7 +77,9 @@ def run_labeled_grid(
     from ..runner import run_specs
 
     specs = [spec for _, spec in labeled_specs]
-    results = run_specs(specs, jobs=jobs, store=store, resume=resume)
+    results = run_specs(
+        specs, jobs=jobs, store=store, resume=resume, backend=backend
+    )
     sweep = SweepResult()
     for (label, _), result in zip(labeled_specs, results):
         sweep.add_as(label, result)
@@ -91,9 +94,11 @@ def run_grid(
     jobs: int = 1,
     store=None,
     resume: bool = False,
+    backend: str = "sim",
 ) -> FigureData:
-    """Sweep approaches × sizes and wrap the result."""
+    """Sweep approaches × sizes under ``backend`` and wrap the result."""
     sweep = sweep_approaches(
-        base, approaches, sizes, jobs=jobs, store=store, resume=resume
+        base, approaches, sizes,
+        jobs=jobs, store=store, resume=resume, backend=backend,
     )
     return FigureData(figure=figure, sweep=sweep)

@@ -40,7 +40,8 @@ def _key(aggr: int) -> str:
 
 
 def run(iterations: int = 30, quick: bool = False, jobs: int = 1,
-        store=None, resume: bool = False) -> FigureData:
+        store=None, resume: bool = False,
+        backend: str = "sim") -> FigureData:
     """Regenerate Fig. 7's data.
 
     The sweep result keys partitioned variants as
@@ -75,8 +76,7 @@ def run(iterations: int = 30, quick: bool = False, jobs: int = 1,
         for size in sizes
     ]
     data = run_labeled_grid(
-        "fig7", labeled, jobs=jobs, store=store, resume=resume
-    )
+        "fig7", labeled, jobs=jobs, store=store, resume=resume, backend=backend)
     sweep = data.sweep
     small = sizes[0]
     data.headline = {

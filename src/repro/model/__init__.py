@@ -1,6 +1,15 @@
-"""Analytic performance models of the paper (§2.2 and Appendix A)."""
+"""Analytic performance models of the paper (§2.2 and Appendix A).
 
+Beyond the paper's closed forms, :mod:`repro.model.approaches` and
+:mod:`repro.model.patterns` extend the single-message predictor into
+full benchmark coverage — every registered approach and application
+pattern — powering the analytic execution backend
+(:class:`repro.backends.AnalyticBackend`).
+"""
+
+from .approaches import BenchPrediction, predict_bench_time
 from .delay import delay_time, gamma_theta, mu_rate, sigma_noise
+from .patterns import PatternPrediction, predict_pattern_time
 from .pipeline import (
     crossover_bytes,
     eta_large,
@@ -39,4 +48,8 @@ __all__ = [
     "MessagePrediction",
     "predict_message_time",
     "predict_eta",
+    "BenchPrediction",
+    "predict_bench_time",
+    "PatternPrediction",
+    "predict_pattern_time",
 ]

@@ -2,8 +2,10 @@
 
 Combines the wire model (:class:`SystemParams`) with the analytic
 pipeline model to predict what the simulator should measure — used by
-the validation tests (model vs simulation) and by the experiment
-reports in ``EXPERIMENTS.md``.
+the validation tests (model vs simulation) and, through
+:mod:`repro.model.approaches`, by the analytic execution backend whose
+model-vs-simulation agreement is recorded in the cross-validation
+report (``python -m repro figures --backend both``).
 """
 
 from __future__ import annotations

@@ -40,6 +40,7 @@ from .executor import (
     run_specs,
 )
 from .scenario import (
+    DEFAULT_BACKEND,
     SCHEMA,
     Scenario,
     ScenarioGrid,
@@ -52,6 +53,7 @@ from .store import ResultStore
 
 __all__ = [
     "SCHEMA",
+    "DEFAULT_BACKEND",
     "Scenario",
     "ScenarioGrid",
     "scenario_for",

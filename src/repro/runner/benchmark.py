@@ -27,7 +27,7 @@ DEFAULT_JSON_PATH = "BENCH_runner.json"
 _SCHEMA = "repro.runner.bench/v1"
 
 
-def fixed_quick_grid() -> List[Scenario]:
+def fixed_quick_grid(backend: str = "sim") -> List[Scenario]:
     """The fixed mixed grid every ``runner-bench`` invocation times.
 
     Held constant across PRs so the JSON numbers stay comparable:
@@ -46,6 +46,7 @@ def fixed_quick_grid() -> List[Scenario]:
             ],
             "total_bytes": [1 << 12, 1 << 16, 1 << 20],
         },
+        backend=backend,
     )
     pattern = ScenarioGrid(
         "pattern",
@@ -57,6 +58,7 @@ def fixed_quick_grid() -> List[Scenario]:
             "compute_us_per_mb": 200.0,
         },
         axes={"pattern": ["halo3d"], "approach": ["pt2pt_part"]},
+        backend=backend,
     )
     return bench.expand() + pattern.expand()
 
@@ -71,21 +73,25 @@ def benchmark_runner(
     jobs: Optional[int] = None,
     path: str | Path = DEFAULT_JSON_PATH,
     repeats: int = 1,
+    backend: str = "sim",
 ) -> dict:
     """Time the fixed grid serial vs parallel and persist the outcome.
 
     Returns the written payload.  ``jobs=None`` uses every CPU (at least
     2, so the pool path is always the one timed); the best of
-    ``repeats`` wall-clocks is kept for each mode.
+    ``repeats`` wall-clocks is kept for each mode.  ``backend`` selects
+    the execution backend the grid runs under (analytic batches skip
+    the pool, so their two timings mostly measure dispatch overhead).
     """
     n_jobs = max(2, default_jobs()) if jobs is None else max(1, int(jobs))
-    scenarios = fixed_quick_grid()
+    scenarios = fixed_quick_grid(backend=backend)
     serial = min(_time_run(scenarios, jobs=1) for _ in range(max(1, repeats)))
     parallel = min(
         _time_run(scenarios, jobs=n_jobs) for _ in range(max(1, repeats))
     )
     payload = {
         "schema": _SCHEMA,
+        "backend": backend,
         "n_scenarios": len(scenarios),
         "grid": "4 approaches x 3 sizes (bench, N=4/theta=4/iters=10) "
                 "+ halo3d pt2pt_part (8 ranks)",

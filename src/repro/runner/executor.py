@@ -13,6 +13,12 @@ the same serialized form (:func:`~repro.runner.scenario.result_to_dict`)
 direct and makes the serial path usable everywhere (tests, notebooks,
 platforms without ``fork``).
 
+Dispatch is backend-aware: scenarios whose backend is *inline* (the
+analytic model — microseconds per point) always run in-process, even in
+a ``jobs=N`` submission; only simulation-backed scenarios are worth a
+worker process.  A mixed batch splits accordingly and still reassembles
+in submission order.
+
 With a :class:`~repro.runner.store.ResultStore` attached, computed
 results are recorded and — under ``resume=True`` — already-recorded
 scenarios are served from the store without running a single simulation.
@@ -137,20 +143,40 @@ class ParallelExecutor:
         # Fan the cold points out (or run them inline for jobs=1).
         # Results are recorded in the store as each one lands, so an
         # interrupted run keeps its completed prefix for --resume.
-        def consume(computed) -> None:
-            for i, result_dict in zip(pending, computed):
+        # Inline-backend scenarios (analytic: microseconds per point)
+        # never go to the pool — fork/pickle overhead would dominate.
+        from ..backends import get_backend
+
+        def consume(indices, computed) -> None:
+            for i, result_dict in zip(indices, computed):
                 result_dicts[i] = result_dict
                 if store is not None:
                     store.put_dict(batch[i], result_dict)
 
-        payloads = [batch[i].to_dict() for i in pending]
+        pooled = [
+            i for i in pending if not get_backend(batch[i].backend).inline
+        ]
+        inline = [
+            i for i in pending if get_backend(batch[i].backend).inline
+        ]
+        # Inline points skip the serialize/deserialize round trip too —
+        # the result still flows through result_to_dict, so the stored
+        # and reported form is identical to the pooled path's.
+        consume(
+            inline,
+            (result_to_dict(batch[i], execute(batch[i])) for i in inline),
+        )
+        payloads = [batch[i].to_dict() for i in pooled]
         if len(payloads) <= 1 or self.jobs == 1:
-            consume(map(_execute_payload, payloads))
+            consume(pooled, map(_execute_payload, payloads))
         else:
             workers = min(self.jobs, len(payloads))
             with multiprocessing.Pool(processes=workers) as pool:
-                consume(pool.imap(_execute_payload, payloads, chunksize=1))
-        report.executed = len(payloads)
+                consume(
+                    pooled,
+                    pool.imap(_execute_payload, payloads, chunksize=1),
+                )
+        report.executed = len(pending)
 
         report.result_dicts = result_dicts  # type: ignore[assignment]
         report.results = [
@@ -175,10 +201,12 @@ def run_specs(
     jobs: int = 1,
     store: Optional[ResultStore] = None,
     resume: bool = False,
+    backend: str = "sim",
 ) -> List[Any]:
     """Run bare spec dataclasses (BenchSpec / PatternConfig mixes are
-    fine) and return their native results in submission order."""
-    scenarios = [scenario_for(spec) for spec in specs]
+    fine) under ``backend`` and return their native results in
+    submission order."""
+    scenarios = [scenario_for(spec, backend=backend) for spec in specs]
     return run_scenarios(
         scenarios, jobs=jobs, store=store, resume=resume
     ).results

@@ -10,10 +10,14 @@ protocol:
 
 * ``to_dict()`` / ``from_dict()`` round-trip the full spec (including
   the nested :class:`~repro.net.params.SystemParams` machine model and
-  :class:`~repro.mpi.cvars.Cvars` runtime knobs);
+  :class:`~repro.mpi.cvars.Cvars` runtime knobs) *and* the execution
+  backend — the backend is part of a scenario's identity;
 * ``content_hash()`` is a stable SHA-256 over the canonical JSON form,
-  addressing the scenario in a :class:`~repro.runner.store.ResultStore`;
-* :func:`execute` runs the point; :func:`result_to_dict` /
+  addressing the scenario in a :class:`~repro.runner.store.ResultStore`
+  (an analytic record can never be confused with a simulated one: the
+  backend tag is inside the hash);
+* :func:`execute` runs the point through its backend
+  (:mod:`repro.backends`); :func:`result_to_dict` /
   :func:`result_from_dict` serialize the outcome (statistics are
   recomputed on load, never trusted from the file).
 
@@ -47,8 +51,12 @@ __all__ = [
 
 #: Version tag baked into every serialized scenario (and therefore into
 #: every content hash): bumping it invalidates caches when the scenario
-#: semantics change.
-SCHEMA = "repro.runner/v1"
+#: semantics change.  v2 added the execution backend to the scenario
+#: identity.
+SCHEMA = "repro.runner/v2"
+
+#: The default execution backend (the full discrete-event simulator).
+DEFAULT_BACKEND = "sim"
 
 #: Scenario kinds and the spec dataclass each one wraps.
 KIND_BENCH = "bench"
@@ -77,10 +85,16 @@ def _rebuild_spec(kind: str, fields: Mapping[str, Any]):
 
 @dataclass(frozen=True)
 class Scenario:
-    """One grid point: a kind tag plus its frozen spec dataclass."""
+    """One grid point: a kind tag, its frozen spec dataclass, and the
+    execution backend it runs under (part of the content identity)."""
 
     kind: str
     spec: Any  # BenchSpec | PatternConfig (both frozen dataclasses)
+    backend: str = DEFAULT_BACKEND
+
+    def with_backend(self, backend: str) -> "Scenario":
+        """The same grid point under a different execution backend."""
+        return Scenario(kind=self.kind, spec=self.spec, backend=backend)
 
     # -- serialization -------------------------------------------------------
     def to_dict(self) -> dict:
@@ -88,6 +102,7 @@ class Scenario:
         return {
             "schema": SCHEMA,
             "kind": self.kind,
+            "backend": self.backend,
             "spec": dataclasses.asdict(self.spec),
         }
 
@@ -99,7 +114,11 @@ class Scenario:
                 f"unrecognized scenario schema {payload.get('schema')!r}"
             )
         kind = payload["kind"]
-        return cls(kind=kind, spec=_rebuild_spec(kind, payload["spec"]))
+        return cls(
+            kind=kind,
+            spec=_rebuild_spec(kind, payload["spec"]),
+            backend=payload.get("backend", DEFAULT_BACKEND),
+        )
 
     def canonical_json(self) -> str:
         """Canonical JSON: sorted keys, no whitespace — the hash input."""
@@ -111,27 +130,27 @@ class Scenario:
         """Stable SHA-256 hex digest of the canonical form."""
         return hashlib.sha256(self.canonical_json().encode()).hexdigest()
 
-def scenario_for(spec: Any) -> Scenario:
+def scenario_for(spec: Any, backend: str = DEFAULT_BACKEND) -> Scenario:
     """Wrap a bare spec dataclass, inferring its kind from the type."""
     for kind, typ in _spec_types().items():
         if isinstance(spec, typ):
-            return Scenario(kind=kind, spec=spec)
+            return Scenario(kind=kind, spec=spec, backend=backend)
     raise TypeError(f"not a known scenario spec: {spec!r}")
 
 
 # -- execution ---------------------------------------------------------------
 
 def execute(scenario: Scenario):
-    """Run one scenario, returning its native result object."""
-    if scenario.kind == KIND_BENCH:
-        from ..bench.harness import run_benchmark
+    """Run one scenario through its backend, returning its native
+    result object (see :mod:`repro.backends`)."""
+    from ..backends import get_backend
 
-        return run_benchmark(scenario.spec)
-    if scenario.kind == KIND_PATTERN:
-        from ..apps.base import run_pattern
-
-        return run_pattern(scenario.spec)
-    raise ValueError(f"unknown scenario kind {scenario.kind!r}")
+    backend = get_backend(scenario.backend)
+    if not backend.supports(scenario):
+        raise ValueError(
+            f"backend {scenario.backend!r} does not support {scenario!r}"
+        )
+    return backend.run(scenario)
 
 
 def result_to_dict(scenario: Scenario, result: Any) -> dict:
@@ -194,6 +213,8 @@ class ScenarioGrid:
     axes:
         Ordered mapping of spec field → sequence of values.  Expansion
         is row-major in declaration order: the last axis varies fastest.
+    backend:
+        Execution backend tag stamped on every scenario of the grid.
 
     Example
     -------
@@ -212,10 +233,12 @@ class ScenarioGrid:
         kind: str,
         base: Mapping[str, Any] | None = None,
         axes: Mapping[str, Sequence[Any]] | None = None,
+        backend: str = DEFAULT_BACKEND,
     ):
         if kind not in (KIND_BENCH, KIND_PATTERN):
             raise ValueError(f"unknown scenario kind {kind!r}")
         self.kind = kind
+        self.backend = backend
         self.base: Dict[str, Any] = dict(base or {})
         self.axes: Dict[str, Sequence[Any]] = dict(axes or {})
         for name, values in self.axes.items():
@@ -231,7 +254,9 @@ class ScenarioGrid:
         for combo in itertools.product(*(self.axes[n] for n in names)):
             assignment = dict(zip(names, combo))
             spec = spec_type(**{**self.base, **assignment})
-            yield assignment, Scenario(kind=self.kind, spec=spec)
+            yield assignment, Scenario(
+                kind=self.kind, spec=spec, backend=self.backend
+            )
 
     def expand(self) -> List[Scenario]:
         """All scenarios of the grid, in deterministic row-major order."""

@@ -24,7 +24,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Iterator, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from .scenario import Scenario, result_from_dict, result_to_dict
 
@@ -112,31 +112,106 @@ class ResultStore:
     # -- enumeration ---------------------------------------------------------
     def records(self) -> Iterator[Tuple[Scenario, Any]]:
         """Iterate ``(scenario, result)`` over every stored record,
-        sorted by path for determinism."""
+        sorted by path for determinism.
+
+        Records that no longer round-trip (torn JSON, foreign schema,
+        stale scenario version) are skipped — the same tolerance the
+        resume path applies; ``stats()`` surfaces them and ``prune()``
+        reclaims them.
+        """
         if not self.root.is_dir():
             return
         for path in sorted(self.root.glob("*/*/*.json")):
-            payload = json.loads(path.read_text())
-            if payload.get("schema") != _STORE_SCHEMA:
-                continue
-            scenario = Scenario.from_dict(payload["scenario"])
-            yield scenario, result_from_dict(scenario, payload["result"])
+            record = self._load_record(path)
+            if record is not None:
+                yield record
 
     def __len__(self) -> int:
         if not self.root.is_dir():
             return 0
         return sum(1 for _ in self.root.glob("*/*/*.json"))
 
+    # -- maintenance ---------------------------------------------------------
+    def stats(self) -> dict:
+        """Store health summary: record counts per (kind, backend),
+        total size on disk, and records that no longer round-trip
+        (torn JSON, foreign schema, stale scenario version)."""
+        per_group: Dict[str, int] = {}
+        broken: List[str] = []
+        total_bytes = 0
+        n_records = 0
+        if self.root.is_dir():
+            for path in sorted(self.root.glob("*/*/*.json")):
+                n_records += 1
+                total_bytes += path.stat().st_size
+                record = self._load_record(path)
+                if record is None:
+                    broken.append(str(path.relative_to(self.root)))
+                    continue
+                scenario = record[0]
+                key = f"{scenario.kind}/{scenario.backend}"
+                per_group[key] = per_group.get(key, 0) + 1
+        return {
+            "root": str(self.root),
+            "records": n_records,
+            "total_bytes": total_bytes,
+            "per_kind_backend": dict(sorted(per_group.items())),
+            "broken": broken,
+        }
+
+    def prune(self, broken: Optional[List[str]] = None) -> List[Path]:
+        """Delete records whose scenario no longer round-trips.
+
+        Extends the executor's torn-record tolerance (bad records read
+        as cache misses) with reclamation: stale schema versions, torn
+        writes, and foreign files are removed.  Returns the deleted
+        paths.  Pass ``stats()["broken"]`` as ``broken`` to skip a
+        second full store scan.
+        """
+        removed: List[Path] = []
+        if not self.root.is_dir():
+            return removed
+        if broken is not None:
+            for rel in broken:
+                path = self.root / rel
+                if path.is_file():
+                    path.unlink()
+                    removed.append(path)
+            return removed
+        for path in sorted(self.root.glob("*/*/*.json")):
+            if self._load_record(path) is None:
+                path.unlink()
+                removed.append(path)
+        return removed
+
+    def _load_record(self, path: Path):
+        """``(scenario, result)`` for one record file, or ``None`` when
+        it cannot be reconstructed exactly (any parse/validation
+        failure counts) — one read, one parse, one deserialization."""
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("schema") != _STORE_SCHEMA:
+                return None
+            scenario = Scenario.from_dict(payload["scenario"])
+            return scenario, result_from_dict(scenario, payload["result"])
+        except Exception:
+            return None
+
     # -- interop -------------------------------------------------------------
-    def pattern_sweep(self):
-        """All stored app-pattern records as a
+    def pattern_sweep(self, backend: str = "sim"):
+        """Stored app-pattern records of one ``backend`` as a
         :class:`~repro.apps.sweep.PatternSweep` (the ``BENCH_apps.json``
-        view of the store)."""
+        view of the store).
+
+        The filter matters: a :class:`PatternSweep` keys on the config
+        alone, so mixing backends would let whichever record sorts last
+        silently overwrite the other.
+        """
         from ..apps.sweep import PatternSweep
 
         sweep = PatternSweep()
         for scenario, result in self.records():
-            if scenario.kind == "pattern":
+            if scenario.kind == "pattern" and scenario.backend == backend:
                 sweep.add(result)
         return sweep
 

@@ -194,7 +194,13 @@ class Environment:
 
     __slots__ = ("_now", "_queue", "_eid", "active_process")
 
+    #: Process-wide count of environments ever constructed — the test
+    #: hook behind the analytic backend's zero-simulation guarantee
+    #: (``--backend analytic`` must leave this untouched).
+    instances_created = 0
+
     def __init__(self, initial_time: float = 0.0):
+        Environment.instances_created += 1
         self._now = float(initial_time)
         self._queue: List = []
         self._eid = itertools.count()
