@@ -1,9 +1,11 @@
 """Command-line entry point.
 
-Five subcommands::
+Seven subcommands::
 
     python -m repro figures [...]      # regenerate the paper's tables/figures
     python -m repro apps [...]         # N-rank application patterns
+    python -m repro campaign ...       # batched million-point grid campaigns
+    python -m repro campaign-bench     # batched vs per-point throughput
     python -m repro runner-bench [...] # time the runner serial vs parallel
     python -m repro backend-bench [...]# time sim vs analytic per grid size
     python -m repro store DIR [...]    # result-store stats / maintenance
@@ -39,10 +41,21 @@ Application patterns (Halo3D / Sweep3D / FFT transpose)::
     python -m repro apps --pattern halo3d --jobs 0 --store runs/ --resume
     python -m repro apps --pattern halo3d --backend both
 
+Campaigns (streaming schema-v2 store; see README "Campaigns")::
+
+    python -m repro campaign run grid.json --root camp/      # plan + execute
+    python -m repro campaign run grid.json --root camp/ --limit 10000
+    python -m repro campaign status camp/                    # coverage
+    python -m repro campaign export camp/ --out points.jsonl
+    python -m repro campaign compact camp/                   # merge segments
+    python -m repro campaign-bench                           # BENCH_campaign.json
+
 Store maintenance::
 
     python -m repro store runs/            # records per kind/backend, size
     python -m repro store runs/ --prune    # drop records that no longer parse
+    python -m repro store runs/ --export jsonl --out records.jsonl
+    python -m repro store runs/ --migrate camp/   # v1 records -> campaign loose rows
 """
 
 from __future__ import annotations
@@ -78,9 +91,10 @@ def _figures_parser(top_level: bool = False) -> argparse.ArgumentParser:
         description="Regenerate the paper's tables and figures.",
         epilog=(
             "subcommands: 'figures' (this, the default), 'apps' — N-rank "
-            "application patterns, 'runner-bench' — runner timings, "
-            "'backend-bench' — sim vs analytic timings, and 'store' — "
-            "result-store maintenance; "
+            "application patterns, 'campaign' — batched grid campaigns, "
+            "'campaign-bench' — batched vs per-point throughput, "
+            "'runner-bench' — runner timings, 'backend-bench' — sim vs "
+            "analytic timings, and 'store' — result-store maintenance; "
             "see 'python -m repro <subcommand> --help'."
         ) if top_level else None,
     )
@@ -389,33 +403,274 @@ def _store_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro store",
         description="Result-store maintenance: record counts per "
-                    "kind/backend, total size, and --prune for records "
-                    "whose spec no longer round-trips.",
+                    "kind/backend, total size, --prune for records "
+                    "whose spec no longer round-trips, --export jsonl "
+                    "for a JSON-lines dump, and --migrate to copy v1 "
+                    "records into a schema-v2 campaign store.",
     )
     parser.add_argument("dir", metavar="DIR",
                         help="result store directory")
     parser.add_argument("--prune", action="store_true",
                         help="delete records that no longer round-trip "
                              "(torn writes, stale schema versions)")
+    parser.add_argument("--export", choices=["jsonl"], default=None,
+                        help="dump every readable record as JSON-lines "
+                             "(one {hash, scenario, result} per line)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="export target (default: stdout)")
+    parser.add_argument("--migrate", default=None, metavar="CAMPAIGN_ROOT",
+                        help="copy v1 records into the campaign store at "
+                             "CAMPAIGN_ROOT as hash-addressed loose rows")
     return parser
 
 
 def _run_store(args) -> int:
-    from .runner import ResultStore
+    from .runner import CampaignStore, ResultStore
 
     store = ResultStore(args.dir)
-    stats = store.stats()
-    print(f"store {stats['root']}: {stats['records']} records, "
-          f"{stats['total_bytes']} bytes")
-    for group, count in stats["per_kind_backend"].items():
-        print(f"  {group:>20}: {count}")
-    if stats["broken"]:
-        print(f"  {'broken':>20}: {len(stats['broken'])}")
-        for rel in stats["broken"]:
-            print(f"    {rel}")
+    if args.export == "jsonl":
+        target = args.out if args.out else sys.stdout
+        try:
+            count = store.export_jsonl(target)
+        except BrokenPipeError:  # e.g. piped into head
+            return 0
+        print(f"[exported {count} record(s)"
+              + (f" to {args.out}]" if args.out else "]"),
+              file=sys.stderr)
+        if not (args.migrate or args.prune):
+            return 0
+    else:
+        stats = store.stats()
+        print(f"store {stats['root']}: {stats['records']} records, "
+              f"{stats['total_bytes']} bytes")
+        for group, count in stats["per_kind_backend"].items():
+            print(f"  {group:>20}: {count}")
+        if stats["broken"]:
+            print(f"  {'broken':>20}: {len(stats['broken'])}")
+            for rel in stats["broken"]:
+                print(f"    {rel}")
+    if args.migrate:
+        try:
+            campaign = CampaignStore.open(args.migrate)
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        moved = campaign.migrate_from_v1(store)
+        print(f"migrated {moved} record(s) into {args.migrate}")
     if args.prune:
-        removed = store.prune(broken=stats["broken"])
+        # Reuse the stats scan when it ran; prune rescans otherwise.
+        broken = stats["broken"] if args.export != "jsonl" else None
+        removed = store.prune(broken=broken)
         print(f"pruned {len(removed)} record(s)")
+    return 0
+
+
+def _campaign_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign",
+        description="Campaign-scale grids on the streaming schema-v2 "
+                    "store: plan, execute (resumable), query, export.",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+
+    run = sub.add_parser(
+        "run", help="execute a grid spec's missing points (resumable)"
+    )
+    run.add_argument("spec", metavar="SPEC",
+                     help="grid spec JSON path ('-' reads stdin)")
+    run.add_argument("--root", required=True, metavar="DIR",
+                     help="campaign store directory")
+    run.add_argument("--jobs", type=int, default=1, metavar="N",
+                     help="worker processes for simulation-backed "
+                          "chunks (0 = one per CPU; default 1)")
+    run.add_argument("--chunk", type=int, default=None, metavar="N",
+                     help="points per chunk (default: backend-sized)")
+    run.add_argument("--limit", type=int, default=None, metavar="N",
+                     help="max points to execute this invocation")
+    run.add_argument("--fallback-store", default=None, metavar="DIR",
+                     help="v1 result store consulted before simulating "
+                          "(read-through)")
+
+    status = sub.add_parser("status", help="coverage and store health")
+    status.add_argument("root", metavar="DIR")
+
+    export = sub.add_parser(
+        "export", help="dump completed points as JSON-lines"
+    )
+    export.add_argument("root", metavar="DIR")
+    export.add_argument("--out", default=None, metavar="PATH",
+                        help="target path (default: stdout)")
+    export.add_argument("--where", action="append", default=[],
+                        metavar="FIELD=VALUE",
+                        help="filter points by spec field (repeatable)")
+
+    compact = sub.add_parser(
+        "compact", help="merge segments into few sorted files"
+    )
+    compact.add_argument("root", metavar="DIR")
+    return parser
+
+
+def _parse_where(clauses):
+    """'field=value' filters with JSON-typed values (bare = string)."""
+    import json as _json
+
+    filters = {}
+    for clause in clauses:
+        if "=" not in clause:
+            raise ValueError(f"bad --where clause {clause!r}")
+        name, _, raw = clause.partition("=")
+        try:
+            filters[name] = _json.loads(raw)
+        except ValueError:
+            filters[name] = raw
+    return filters
+
+
+def _run_campaign_cli(args) -> int:
+    import json as _json
+
+    from .runner import CampaignStore, ResultStore, parse_grid_spec
+    from .runner import run_campaign as run_campaign_fn
+
+    if args.action == "run":
+        try:
+            raw = (
+                sys.stdin.read()
+                if args.spec == "-"
+                else open(args.spec).read()
+            )
+            grid = parse_grid_spec(_json.loads(raw))
+        except OSError as exc:
+            print(f"error: cannot read grid spec: {exc}", file=sys.stderr)
+            return 2
+        except (KeyError, TypeError, ValueError) as exc:
+            print(f"error: bad grid spec: {exc}", file=sys.stderr)
+            return 2
+        fallback = (
+            ResultStore(args.fallback_store) if args.fallback_store else None
+        )
+        try:
+            store = CampaignStore.create(args.root, grid, fallback=fallback)
+        except (KeyError, TypeError, ValueError) as exc:
+            message = exc.args[0] if exc.args else exc
+            print(f"error: {message}", file=sys.stderr)
+            return 2
+        from .runner import default_jobs
+
+        summary = run_campaign_fn(
+            store,
+            jobs=args.jobs if args.jobs > 0 else default_jobs(),
+            chunk_points=args.chunk,
+            limit=args.limit,
+            progress=print,
+        )
+        pps = summary["points_per_s"]
+        print(
+            f"executed {summary['executed']} point(s) in "
+            f"{summary['chunks']} chunk(s), {summary['wall_s']:.2f}s"
+            + (f" ({pps:,.0f} points/s)" if pps else "")
+            + (f", {summary['cached']} served read-through"
+               if summary["cached"] else "")
+        )
+        print(
+            f"campaign {store.header['grid_hash'][:12]}: "
+            f"{summary['completed']}/{summary['n_points']} points complete"
+        )
+        return 0
+
+    try:
+        store = CampaignStore.open(args.root)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "status":
+        stats = store.stats()
+        print(f"campaign {stats['root']} "
+              f"[{stats['kind']}/{stats['backend']}, "
+              f"grid {stats['grid_hash'][:12]}]")
+        print(f"  points:   {stats['completed']}/{stats['n_points']} "
+              f"complete ({stats['missing']} missing)")
+        print(f"  segments: {stats['segments']} "
+              f"({stats['total_bytes']} bytes)")
+        if stats["loose_rows"]:
+            print(f"  loose:    {stats['loose_rows']} migrated v1 row(s)")
+        return 0
+    if args.action == "export":
+        try:
+            filters = _parse_where(args.where)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        target = args.out if args.out else sys.stdout
+        try:
+            count = store.export_jsonl(target, where=filters or None)
+        except BrokenPipeError:  # e.g. piped into head
+            return 0
+        print(f"[exported {count} point(s)]", file=sys.stderr)
+        return 0
+    if args.action == "compact":
+        summary = store.compact()
+        print(f"compacted {summary['segments_before']} segment(s) into "
+              f"{summary['segments_after']} ({summary['points']} points)")
+        return 0
+    return 2
+
+
+def _campaign_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro campaign-bench",
+        description="Time the fixed >=100k-point analytic grid through "
+                    "the batched campaign pipeline vs per-point "
+                    "execution and persist BENCH_campaign.json.",
+    )
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="persistence path (default BENCH_campaign.json)")
+    parser.add_argument("--sizes", type=int, default=None, metavar="N",
+                        help="size-axis length (default 320 -> 102400 "
+                             "points; lower for a quick run)")
+    parser.add_argument("--root", default=None, metavar="DIR",
+                        help="keep the campaign store here (default: "
+                             "temp dir, removed after the run)")
+    return parser
+
+
+def _run_campaign_bench(args) -> int:
+    from .runner.campaign_bench import (
+        DEFAULT_JSON_PATH,
+        DEFAULT_N_SIZES,
+        benchmark_campaign,
+    )
+
+    path = args.json if args.json else DEFAULT_JSON_PATH
+    try:
+        payload = benchmark_campaign(
+            path=path,
+            n_sizes=args.sizes if args.sizes else DEFAULT_N_SIZES,
+            root=args.root,
+        )
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"{payload['n_points']} analytic points: "
+        f"batched {payload['batched']['wall_s']:.2f}s "
+        f"({payload['batched']['points_per_s']:,.0f} points/s, "
+        f"{payload['batched']['segments']} segments)"
+    )
+    print(
+        f"per-point pipeline (run() + file per point): "
+        f"{payload['per_point_pipeline']['points_per_s']:,.0f} points/s "
+        f"(~{payload['per_point_pipeline']['projected_wall_s']:,.0f}s "
+        f"projected for the full grid); "
+        f"bare execute: "
+        f"{payload['per_point_execute_only']['points_per_s']:,.0f} points/s"
+    )
+    print(
+        f"batched speedup: x{payload['speedup']:.1f} vs pipeline, "
+        f"x{payload['speedup_vs_execute_only']:.1f} vs bare execute"
+    )
+    print(f"[timings persisted to {path}]")
     return 0
 
 
@@ -427,6 +682,12 @@ def main(argv=None) -> int:
     if argv and argv[0] == "figures":
         parser = _figures_parser()
         return _run_figures(parser.parse_args(argv[1:]), parser)
+    if argv and argv[0] == "campaign":
+        return _run_campaign_cli(_campaign_parser().parse_args(argv[1:]))
+    if argv and argv[0] == "campaign-bench":
+        return _run_campaign_bench(
+            _campaign_bench_parser().parse_args(argv[1:])
+        )
     if argv and argv[0] == "runner-bench":
         return _run_runner_bench(_runner_bench_parser().parse_args(argv[1:]))
     if argv and argv[0] == "backend-bench":

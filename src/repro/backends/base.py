@@ -17,7 +17,7 @@ record with a simulated one.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Type
+from typing import Any, Dict, List, Sequence, Type
 
 __all__ = [
     "Backend",
@@ -58,6 +58,20 @@ class Backend:
         (:class:`~repro.bench.harness.BenchResult` or
         :class:`~repro.apps.base.PatternResult`)."""
         raise NotImplementedError
+
+    def run_batch(self, scenarios: Sequence[Any]) -> List[Any]:
+        """Execute a batch, returning native results in input order.
+
+        The default is the point-at-a-time loop (what the simulator
+        needs: every scenario is its own discrete-event run).  Backends
+        whose per-point math is cheap override this with a genuinely
+        batched implementation — the analytic backend evaluates the
+        whole batch through the vectorized model kernel
+        (:mod:`repro.model.vector`) — under the contract that
+        ``run_batch(xs)[i]`` is identical to ``run(xs[i])``
+        (bit-for-bit; asserted by the batch-equivalence tests).
+        """
+        return [self.run(scenario) for scenario in scenarios]
 
     def __repr__(self) -> str:  # pragma: no cover - debug repr
         return f"<{type(self).__name__} {self.name!r}>"

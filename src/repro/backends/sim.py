@@ -19,7 +19,10 @@ class SimBackend(Backend):
     harness).  Every point builds its own
     :class:`~repro.mpi.world.MPIWorld`, so simulated batches are
     embarrassingly parallel — the executor fans them out over a
-    process pool.
+    process pool in per-backend *chunks*.  The inherited
+    :meth:`~repro.backends.base.Backend.run_batch` (a :meth:`run` loop)
+    is exactly right here: each point is its own discrete-event run,
+    and there is nothing to vectorize across points.
     """
 
     name = BACKEND_SIM

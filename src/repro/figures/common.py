@@ -12,10 +12,15 @@ drivers so a full regeneration stays tractable); the full grid matches
 the paper's axis ranges.
 
 Every driver builds its approaches × sizes grid and submits it to the
-unified scenario runner (:mod:`repro.runner`) as one batch: ``jobs > 1``
-fans the whole figure out across cores, and a
+unified scenario runner (:mod:`repro.runner`) as one batch, which
+routes it through the chunked execution pipeline: simulated points fan
+out across cores in per-backend chunks (``jobs > 1``; tiny grids
+auto-fall back to serial), analytic points evaluate through the
+vectorized model kernel in one ``run_batch`` call, and a
 :class:`~repro.runner.store.ResultStore` plus ``resume=True`` skips
-points that were already computed by an earlier invocation.
+points that were already computed by an earlier invocation.  The
+drivers themselves never see the difference: results come back in
+submission order either way.
 """
 
 from __future__ import annotations

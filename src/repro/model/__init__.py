@@ -7,9 +7,17 @@ pattern — powering the analytic execution backend
 (:class:`repro.backends.AnalyticBackend`).
 """
 
-from .approaches import BenchPrediction, predict_bench_time
+from .approaches import (
+    BenchPrediction,
+    predict_bench_time,
+    predict_bench_times,
+)
 from .delay import delay_time, gamma_theta, mu_rate, sigma_noise
-from .patterns import PatternPrediction, predict_pattern_time
+from .patterns import (
+    PatternPrediction,
+    predict_pattern_time,
+    predict_pattern_times,
+)
 from .pipeline import (
     crossover_bytes,
     eta_large,
@@ -50,6 +58,8 @@ __all__ = [
     "predict_eta",
     "BenchPrediction",
     "predict_bench_time",
+    "predict_bench_times",
     "PatternPrediction",
     "predict_pattern_time",
+    "predict_pattern_times",
 ]

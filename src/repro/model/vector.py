@@ -1,0 +1,847 @@
+"""Vectorized (numpy) evaluation of the closed-form models — the batch kernel.
+
+The scalar predictors (:func:`repro.model.approaches.predict_bench_time`,
+:func:`repro.model.patterns.predict_pattern_time`) remain the **single
+source of truth** for every formula; this module re-expresses them over
+numpy arrays so a whole parameter grid evaluates in a handful of array
+operations instead of one Python call per point.  Every expression here
+mirrors its scalar counterpart **operation for operation, in the same
+order**, so the IEEE-754 result of each point is bitwise identical to
+the scalar path — asserted, not assumed, by the batch-equivalence test
+suite (``tests/model/test_vector.py``), which sweeps all 8 approaches
+and all 3 application patterns.
+
+Batching model
+--------------
+Points are grouped by the parameters that select *code paths* rather
+than *values* — the approach (each has its own predictor), the frozen
+:class:`~repro.net.params.SystemParams` (so every ``p.*`` cost is a
+scalar inside a group), and the ``vci_method`` string.  Everything else
+(sizes, thread counts, partition counts, VCI counts, compute rates)
+varies per point as an int64/float64 column.  Data-dependent branches of
+the scalar code (protocol ladder, zcopy queue-feedback regimes, pipeline
+bounds) become boolean masks combined with ``np.where``.
+
+Two entry points per family:
+
+* :func:`bench_batch_times` / :func:`pattern_batch` — take spec
+  dataclasses (the :meth:`~repro.backends.base.Backend.run_batch` path);
+* :func:`bench_times_from_columns` — takes bare column arrays, so the
+  campaign fast path can decode a million grid indices straight into
+  parameter columns without ever constructing a spec object.
+
+Sizes are assumed to stay below 2**53 bytes (exact int64→float64
+conversion); every grid in the repo is far below that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..net import SystemParams
+from .approaches import (
+    _ctrl_path,
+    _rendezvous_rtt,
+    _token_path,
+    _zcopy_queue_contenders,
+    APPROACH_PREDICTORS,
+)
+
+__all__ = [
+    "bench_batch_times",
+    "bench_times_from_columns",
+    "pattern_batch",
+    "PatternBatch",
+    "BENCH_COLUMN_FIELDS",
+]
+
+#: BenchSpec fields the column-based bench kernel consumes (everything
+#: else — iterations, warmup, seed, verify … — does not enter the model).
+BENCH_COLUMN_FIELDS = (
+    "approach",
+    "total_bytes",
+    "n_threads",
+    "theta",
+    "gamma_us_per_mb",
+    "gaussian_mu_us_per_mb",
+)
+
+
+# ---------------------------------------------------------------------------
+# elementwise counterparts of the SystemParams helpers
+# ---------------------------------------------------------------------------
+
+def _mult_vec(p: SystemParams, contenders):
+    """``SystemParams.contention_multiplier`` over an array."""
+    n = np.maximum(0, contenders)
+    return 1.0 + p.vci_contention_coeff * n + p.vci_contention_quad * n * n
+
+
+def _wire_vec(p: SystemParams, nbytes):
+    """``SystemParams.wire_time`` over an array."""
+    return p.wire_gap + (nbytes + p.header_bytes) / p.bandwidth
+
+
+def _copy_vec(p: SystemParams, nbytes):
+    """``SystemParams.copy_time`` over an array."""
+    return nbytes / p.copy_bandwidth
+
+
+def _bit_length_vec(x: np.ndarray) -> np.ndarray:
+    """``int.bit_length()`` elementwise (exact, no float log)."""
+    v = np.asarray(x, dtype=np.int64).copy()
+    r = np.zeros_like(v)
+    for shift in (32, 16, 8, 4, 2, 1):
+        mask = v >= (np.int64(1) << shift)
+        r[mask] += shift
+        v[mask] >>= shift
+    r += (v > 0).astype(np.int64)
+    return r
+
+
+def _barrier_vec(p: SystemParams, parties) -> np.ndarray:
+    """``SystemParams.barrier_time`` over an array.
+
+    ``rounds = (parties - 1).bit_length()`` is 0 for ``parties <= 1``,
+    so the scalar's early-return-0 branch folds into the product.
+    """
+    return p.thread_barrier_base * _bit_length_vec(
+        np.maximum(np.asarray(parties, dtype=np.int64) - 1, 0)
+    )
+
+
+def _ceil_div(a, b):
+    """Exact integer ``ceil(a / b)`` (matches ``math.ceil`` of the float
+    quotient for every magnitude used by the models)."""
+    return -(-np.asarray(a, dtype=np.int64) // np.asarray(b, dtype=np.int64))
+
+
+def _chain_max(*terms):
+    """Elementwise ``max(...)`` over mixed scalar/array terms."""
+    out = terms[0]
+    for term in terms[1:]:
+        out = np.maximum(out, term)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# per-message stage costs (vector twins of _tag_msg_cost / _put_msg_cost)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _MsgCostV:
+    """Array-valued per-message stage costs (see ``_MsgCost``)."""
+
+    post: Any
+    wire: Any
+    rx: Any
+    path: Any
+
+
+def _tag_msg_cost_vec(p: SystemParams, nbytes, mult) -> _MsgCostV:
+    """Vector twin of ``approaches._tag_msg_cost``."""
+    nbytes = np.asarray(nbytes, dtype=np.int64)
+    zc = nbytes > p.eager_max
+    bc = (nbytes > p.short_max) & ~zc
+    wire0 = p.wire_time(0)
+    wire_nb = _wire_vec(p, nbytes)
+    # zcopy branch (RTS/CTS rendezvous)
+    z_post = p.post_overhead * mult * 2.0
+    z_wire = wire0 + wire_nb
+    z_rx = p.ctrl_overhead + p.put_handler_overhead
+    z_path = (
+        p.post_overhead * mult + wire0 + p.latency
+        + p.ctrl_overhead
+        + p.ctrl_overhead + wire0 + p.latency
+        + p.ctrl_overhead
+        + p.post_overhead
+        + wire_nb + p.latency + p.put_handler_overhead
+    )
+    # short/bcopy branch (eager)
+    pack = np.where(bc, _copy_vec(p, nbytes), 0.0)
+    e_post = p.post_overhead * mult + pack
+    e_rx = p.recv_overhead + pack  # unpack == pack for bcopy, 0 for short
+    e_path = e_post + wire_nb + p.latency + e_rx
+    return _MsgCostV(
+        post=np.where(zc, z_post, e_post),
+        wire=np.where(zc, z_wire, wire_nb),
+        rx=np.where(zc, z_rx, e_rx),
+        path=np.where(zc, z_path, e_path),
+    )
+
+
+def _put_msg_cost_vec(p: SystemParams, nbytes, mult) -> _MsgCostV:
+    """Vector twin of ``approaches._put_msg_cost``."""
+    post = p.put_overhead * mult
+    wire = _wire_vec(p, nbytes)
+    rx = p.put_handler_overhead
+    return _MsgCostV(
+        post=post, wire=wire, rx=rx, path=post + wire + p.latency + rx
+    )
+
+
+# ---------------------------------------------------------------------------
+# bench geometry columns
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _BenchCols:
+    """Array twin of ``approaches._Geometry`` for one (params,
+    vci_method) group — every field a column over the group's points."""
+
+    params: SystemParams
+    vci_method: str
+    n_threads: np.ndarray
+    theta: np.ndarray
+    total_bytes: np.ndarray
+    num_vcis: np.ndarray
+    part_aggr_size: np.ndarray
+    delay: np.ndarray
+    compute_active: np.ndarray
+
+    @property
+    def n_parts(self) -> np.ndarray:
+        return self.n_threads * self.theta
+
+    @property
+    def part_bytes(self) -> np.ndarray:
+        return self.total_bytes // self.n_parts
+
+
+def _negotiated_vec(cols: _BenchCols) -> np.ndarray:
+    """``negotiate_message_count`` over columns (cached per unique
+    (n_parts, total_bytes, aggr) triple — the function is pure Python)."""
+    from ..mpi.partitioned import negotiate_message_count
+
+    stacked = np.stack(
+        [cols.n_parts, cols.total_bytes, cols.part_aggr_size]
+    )
+    uniq, inverse = np.unique(stacked, axis=1, return_inverse=True)
+    values = np.array(
+        [
+            negotiate_message_count(int(n), int(n), int(tb), int(aggr))
+            for n, tb, aggr in uniq.T
+        ],
+        dtype=np.int64,
+    )
+    return values[np.asarray(inverse).reshape(-1)]
+
+
+def _tag_transfer_vec(
+    cols: _BenchCols,
+    n_msgs,
+    nbytes,
+    contenders,
+    lanes,
+    rx_lanes,
+    rx_extra=0.0,
+    path_extra=0.0,
+    extra_serial=0.0,
+) -> Tuple[np.ndarray, _MsgCostV]:
+    """Vector twin of ``approaches._tag_transfer`` (all regimes)."""
+    p = cols.params
+    nbytes = np.asarray(nbytes, dtype=np.int64)
+    contenders = np.asarray(contenders, dtype=np.float64)
+    zsv = (
+        np.asarray(lanes == 1)
+        & np.asarray(n_msgs > 1)
+        & (nbytes > p.eager_max)
+    )
+    wire_nb = _wire_vec(p, nbytes)
+    rtt = _rendezvous_rtt(p)
+    c_sat = np.maximum(
+        contenders,
+        np.minimum(_zcopy_queue_contenders(p), contenders + n_msgs / 2.0),
+    )
+    pair = 2.0 * p.post_overhead * _mult_vec(p, c_sat)
+    saturated = zsv & ~cols.compute_active & (pair >= wire_nb)
+    contenders = np.where(saturated, c_sat, contenders)
+    burst = zsv & ~saturated
+    prefix_msgs = np.where(
+        burst, np.minimum(n_msgs, cols.n_threads), n_msgs
+    )
+    hump_window = (
+        burst
+        & ~cols.compute_active
+        & (n_msgs > 2 * cols.n_threads)
+        & (1.15 * rtt < wire_nb)
+        & (wire_nb < 2.5 * rtt)
+    )
+    c2 = wire_nb / p.ctrl_overhead
+    pair2 = 2.0 * p.post_overhead * _mult_vec(p, c2)
+    hump_bn = np.where(
+        hump_window & (pair2 > wire_nb), (pair + pair2) / 2.0, 0.0
+    )
+    mult = _mult_vec(p, contenders)
+    msg = _tag_msg_cost_vec(p, nbytes, mult)
+    rx = msg.rx + rx_extra
+    path = msg.path + path_extra
+    # zcopy-single-VCI regime: RTS prefix serializes ahead of the drain.
+    post_half = p.post_overhead * mult
+    z_bn = _chain_max(
+        post_half, msg.wire, rx / rx_lanes, extra_serial, hump_bn
+    )
+    z_transfer = (
+        np.maximum(prefix_msgs * post_half + (n_msgs - 1) * z_bn
+                   - cols.delay, 0.0)
+        + path
+    )
+    # generic stage-bottleneck pipeline
+    e_bn = _chain_max(msg.post / lanes, msg.wire, rx / rx_lanes, extra_serial)
+    e_transfer = np.maximum((n_msgs - 1) * e_bn - cols.delay, 0.0) + path
+    return np.where(zsv, z_transfer, e_transfer), msg
+
+
+def _pipeline_vec(n_msgs, cost: _MsgCostV, post_lanes, rx_lanes, delay,
+                  extra_serial=0.0):
+    """Vector twin of ``approaches._pipeline``."""
+    bottleneck = _chain_max(
+        cost.post / post_lanes, cost.wire, cost.rx / rx_lanes, extra_serial
+    )
+    return np.maximum((n_msgs - 1) * bottleneck - delay, 0.0) + cost.path
+
+
+# ---------------------------------------------------------------------------
+# per-approach vector predictors (twins of approaches._predict_*)
+# ---------------------------------------------------------------------------
+
+def _vec_pt2pt_single(cols: _BenchCols) -> np.ndarray:
+    p = cols.params
+    barrier = _barrier_vec(p, cols.n_threads)
+    msg = _tag_msg_cost_vec(p, cols.total_bytes, 1.0)
+    return 2.0 * barrier + msg.path
+
+
+def _vec_pt2pt_many(cols: _BenchCols) -> np.ndarray:
+    p = cols.params
+    n, s = cols.n_parts, cols.part_bytes
+    barrier = _barrier_vec(p, cols.n_threads)
+    lanes = np.maximum(1, np.minimum(cols.n_threads, cols.num_vcis))
+    per_vci = _ceil_div(cols.n_threads, lanes)
+    transfer, msg = _tag_transfer_vec(
+        cols, n, s, per_vci - 1, lanes, lanes
+    )
+    prepost = n * p.recv_post_overhead + msg.rx
+    return barrier + np.maximum(transfer, prepost)
+
+
+def _part_post_geometry_vec(cols: _BenchCols, n_msgs, msg_bytes):
+    """Vector twin of ``approaches._part_post_geometry``."""
+    p = cols.params
+    if cols.vci_method == "comm":
+        ones = np.ones_like(cols.n_threads)
+        stagger = np.where(msg_bytes > p.eager_max, 1.0, 0.8)
+        return ones, stagger * (cols.n_threads - 1), ones
+    lanes = np.maximum(
+        1, np.minimum(np.minimum(cols.n_threads, cols.num_vcis), n_msgs)
+    )
+    per_vci = _ceil_div(
+        cols.n_threads,
+        np.maximum(1, np.minimum(cols.num_vcis, cols.n_threads)),
+    )
+    rx_lanes = np.maximum(1, np.minimum(n_msgs, cols.num_vcis))
+    return lanes, per_vci - 1.0, rx_lanes
+
+
+def _pready_vec(p: SystemParams, n_threads) -> np.ndarray:
+    """``pready_atomic_time(n_threads) + pready_overhead`` columns."""
+    extra = np.maximum(0, n_threads - 1)
+    return (
+        p.atomic_overhead + p.pready_atomic_bounce * extra
+    ) + p.pready_overhead
+
+
+def _vec_pt2pt_part(cols: _BenchCols) -> np.ndarray:
+    p = cols.params
+    n_msgs = _negotiated_vec(cols)
+    msg_bytes = cols.total_bytes // n_msgs
+    barrier = _barrier_vec(p, cols.n_threads)
+    lanes, contenders, rx_lanes = _part_post_geometry_vec(
+        cols, n_msgs, msg_bytes
+    )
+    pready = _pready_vec(p, cols.n_threads)
+    preadys_per_msg = cols.n_parts / n_msgs
+    completion_atomic = (
+        p.atomic_overhead + p.atomic_bounce_coeff * (rx_lanes - 1) / 2.0
+    )
+    transfer, msg = _tag_transfer_vec(
+        cols, n_msgs, msg_bytes, contenders, lanes, rx_lanes,
+        rx_extra=completion_atomic,
+        path_extra=pready * preadys_per_msg + completion_atomic,
+        extra_serial=np.maximum(pready * preadys_per_msg, completion_atomic),
+    )
+    prepost = n_msgs * p.recv_post_overhead + msg.rx + completion_atomic
+    return (
+        barrier + np.maximum(transfer, prepost) + p.part_completion_overhead
+    )
+
+
+def _vec_pt2pt_part_old(cols: _BenchCols) -> np.ndarray:
+    p = cols.params
+    n = cols.n_parts
+    barrier = _barrier_vec(p, cols.n_threads)
+    pready = _pready_vec(p, cols.n_threads)
+    pready_chain = (
+        np.maximum((n - 1) * pready - cols.delay, 0.0) + pready
+    )
+    am_path = (
+        p.post_overhead
+        + _copy_vec(p, cols.total_bytes)
+        + _wire_vec(p, cols.total_bytes)
+        + p.latency
+        + p.am_dispatch_overhead
+        + _copy_vec(p, np.minimum(cols.total_bytes, p.am_chunk_bytes))
+    )
+    cts = p.ctrl_overhead
+    return (
+        barrier
+        + np.maximum(pready_chain, cts)
+        + am_path
+        + p.part_completion_overhead
+    )
+
+
+def _rma_stages_vec(cols: _BenchCols, many: bool):
+    """(put cost, lanes, windows, mult) — twin of ``_rma_put_stages``."""
+    p = cols.params
+    windows = cols.n_threads if many else np.ones_like(cols.n_threads)
+    lanes = np.maximum(1, np.minimum(windows, cols.num_vcis))
+    actors_per_lane = _ceil_div(cols.n_threads, lanes)
+    mult = _mult_vec(p, actors_per_lane - 1)
+    return _put_msg_cost_vec(p, cols.part_bytes, mult), lanes, windows, mult
+
+
+def _rma_scan_vec(cols: _BenchCols, windows) -> np.ndarray:
+    sharing = _ceil_div(windows, np.minimum(windows, cols.num_vcis))
+    return cols.params.rma_progress_scan * (sharing - 1)
+
+
+def _vec_rma_passive(cols: _BenchCols, many: bool) -> np.ndarray:
+    p = cols.params
+    n = cols.n_parts
+    barrier = _barrier_vec(p, cols.n_threads)
+    put, lanes, windows, mult = _rma_stages_vec(cols, many)
+    put_start = p.recv_overhead + barrier
+    flushes = windows if many else 1
+    post_work = (n * put.post + flushes * p.ctrl_overhead * mult) / lanes
+    wire_work = n * put.wire + flushes * p.wire_time(0)
+    rx_work = (n * put.rx + flushes * p.ctrl_overhead) / lanes
+    serial = _chain_max(post_work, wire_work, rx_work)
+    flush_handled = (
+        put_start
+        + np.maximum(serial - cols.delay, 0.0)
+        + p.rma_sync_overhead
+        + p.wire_time(0)
+        + p.latency
+        + p.ctrl_overhead
+        + _rma_scan_vec(cols, windows)
+    )
+    ack = _ctrl_path(p)
+    done = _token_path(p, p.post_overhead)
+    return flush_handled + ack + done
+
+
+def _vec_rma_active(cols: _BenchCols, many: bool) -> np.ndarray:
+    p = cols.params
+    n = cols.n_parts
+    barrier = _barrier_vec(p, cols.n_threads)
+    put, lanes, windows, _ = _rma_stages_vec(cols, many)
+    tokens_avail = (
+        p.rma_sync_overhead
+        + p.ctrl_overhead
+        + (windows - 1) * (p.rma_sync_overhead + p.ctrl_overhead)
+    )
+    open_epochs = windows * p.rma_sync_overhead
+    put_start = np.maximum(tokens_avail, open_epochs) + barrier
+    post_bn = put.post / lanes
+    post_done = (
+        put_start
+        + np.maximum((n - 1) * post_bn - cols.delay, 0.0)
+        + put.post
+    )
+    transfer_end = put_start + _pipeline_vec(n, put, lanes, lanes, cols.delay)
+    complete_issued = (
+        post_done + windows * (p.rma_sync_overhead + p.ctrl_overhead)
+    )
+    return (
+        np.maximum(complete_issued + p.wire_time(0) + p.latency, transfer_end)
+        + p.ctrl_overhead
+    )
+
+
+#: Registry: approach name -> vector predictor over a ``_BenchCols``.
+_VECTOR_PREDICTORS = {
+    "pt2pt_single": _vec_pt2pt_single,
+    "pt2pt_many": _vec_pt2pt_many,
+    "pt2pt_part": _vec_pt2pt_part,
+    "pt2pt_part_old": _vec_pt2pt_part_old,
+    "rma_single_passive": lambda c: _vec_rma_passive(c, many=False),
+    "rma_many_passive": lambda c: _vec_rma_passive(c, many=True),
+    "rma_single_active": lambda c: _vec_rma_active(c, many=False),
+    "rma_many_active": lambda c: _vec_rma_active(c, many=True),
+}
+
+assert set(_VECTOR_PREDICTORS) == set(APPROACH_PREDICTORS), (
+    "vector kernel out of sync with the scalar predictor registry"
+)
+
+
+# ---------------------------------------------------------------------------
+# bench entry points
+# ---------------------------------------------------------------------------
+
+def _delay_columns(total_bytes, n_threads, theta, gamma, gaussian_mu):
+    """Vector twin of ``predict_bench_time``'s delay/compute logic."""
+    g = gamma * 1e-6 / 1e6
+    raw_delay = g * (total_bytes // (n_threads * theta))
+    gaussian = gaussian_mu > 0
+    delay = np.where(gaussian, 0.0, raw_delay)
+    compute_active = ~gaussian & (gamma > 0)
+    return delay, compute_active
+
+
+def _approach_codes(approach) -> Tuple[List[str], np.ndarray]:
+    """Normalize an approach column to ``(names, codes)``.
+
+    Accepts a ready-made ``(names, codes)`` pair (the campaign fast
+    path derives codes straight from the grid's axis digits — no string
+    hashing over the batch), or any array of names (factorized here).
+    """
+    if isinstance(approach, tuple):
+        names, codes = approach
+        return list(names), np.asarray(codes, dtype=np.int64)
+    approach = np.asarray(approach)
+    names, codes = np.unique(approach.astype(str), return_inverse=True)
+    return [str(name) for name in names], np.asarray(
+        codes, dtype=np.int64
+    ).reshape(-1)
+
+
+def _dispatch_bench(
+    params: SystemParams,
+    vci_method: str,
+    approach,
+    n_threads: np.ndarray,
+    theta: np.ndarray,
+    total_bytes: np.ndarray,
+    num_vcis: np.ndarray,
+    part_aggr_size: np.ndarray,
+    gamma: np.ndarray,
+    gaussian_mu: np.ndarray,
+) -> np.ndarray:
+    """Route column arrays to the per-approach vector predictors."""
+    delay, compute_active = _delay_columns(
+        total_bytes, n_threads, theta, gamma, gaussian_mu
+    )
+    names, codes = _approach_codes(approach)
+    times = np.empty(len(codes), dtype=np.float64)
+    for code, name in enumerate(names):
+        if name not in _VECTOR_PREDICTORS:
+            raise KeyError(f"no analytic predictor for approach {name!r}")
+        idx = np.nonzero(codes == code)[0]
+        if not idx.size:
+            continue
+        cols = _BenchCols(
+            params=params,
+            vci_method=vci_method,
+            n_threads=n_threads[idx],
+            theta=theta[idx],
+            total_bytes=total_bytes[idx],
+            num_vcis=num_vcis[idx],
+            part_aggr_size=part_aggr_size[idx],
+            delay=delay[idx],
+            compute_active=compute_active[idx],
+        )
+        times[idx] = _VECTOR_PREDICTORS[name](cols)
+    return times
+
+
+def bench_times_from_columns(
+    params: SystemParams,
+    num_vcis: int,
+    vci_method: str,
+    part_aggr_size: int,
+    columns: Mapping[str, Any],
+    n_points: int,
+) -> np.ndarray:
+    """Predicted times for ``n_points`` bench points given bare columns.
+
+    ``columns`` maps :data:`BENCH_COLUMN_FIELDS` to per-point arrays (or
+    scalars, broadcast to the batch); absent fields take the
+    ``BenchSpec`` defaults.  The approach column may also be a
+    ``(names, codes)`` pair (see :func:`_approach_codes`).  ``params``
+    and the three cvar knobs are batch constants — callers with
+    heterogeneous machine models group first (as
+    :func:`bench_batch_times` does).  This is the campaign fast path:
+    no spec objects are ever constructed.
+    """
+    def col(name, dtype, default):
+        value = columns.get(name, default)
+        if np.isscalar(value):
+            return np.full(n_points, value, dtype=dtype)
+        return np.asarray(value, dtype=dtype)
+
+    approach = columns["approach"]
+    if isinstance(approach, str):
+        approach = ([approach], np.zeros(n_points, dtype=np.int64))
+    return _dispatch_bench(
+        params,
+        vci_method,
+        approach,
+        col("n_threads", np.int64, 1),
+        col("theta", np.int64, 1),
+        col("total_bytes", np.int64, 0),
+        np.full(n_points, num_vcis, dtype=np.int64),
+        np.full(n_points, part_aggr_size, dtype=np.int64),
+        col("gamma_us_per_mb", np.float64, 0.0),
+        col("gaussian_mu_us_per_mb", np.float64, 0.0),
+    )
+
+
+def bench_batch_times(specs: Sequence[Any]) -> np.ndarray:
+    """Predicted times for a batch of ``BenchSpec``-shaped objects.
+
+    Point ``i`` of the result is bitwise-equal to
+    ``predict_bench_time(specs[i]).time``.
+    """
+    times = np.empty(len(specs), dtype=np.float64)
+    groups: Dict[Any, List[int]] = {}
+    for i, spec in enumerate(specs):
+        key = (spec.params, spec.cvars.vci_method)
+        groups.setdefault(key, []).append(i)
+    for (params, vci_method), indices in groups.items():
+        sub = [specs[i] for i in indices]
+        times[np.array(indices)] = _dispatch_bench(
+            params,
+            vci_method,
+            np.array([s.approach for s in sub], dtype=object),
+            np.array([s.n_threads for s in sub], dtype=np.int64),
+            np.array([s.theta for s in sub], dtype=np.int64),
+            np.array([s.total_bytes for s in sub], dtype=np.int64),
+            # cvar knobs can vary per point inside a (params, method)
+            # group (cvar axes), so they are columns too.
+            np.array([s.cvars.num_vcis for s in sub], dtype=np.int64),
+            np.array(
+                [s.cvars.part_aggr_size for s in sub], dtype=np.int64
+            ),
+            np.array([s.gamma_us_per_mb for s in sub], dtype=np.float64),
+            np.array(
+                [s.gaussian_mu_us_per_mb for s in sub], dtype=np.float64
+            ),
+        )
+    return times
+
+
+# ---------------------------------------------------------------------------
+# pattern entry point
+# ---------------------------------------------------------------------------
+
+@dataclass
+class PatternBatch:
+    """Vectorized pattern predictions plus the per-point topology facts
+    the native result object carries."""
+
+    times: np.ndarray
+    bytes_per_iteration: np.ndarray
+    n_links: np.ndarray
+
+
+#: Topology summaries keyed by the config fields that shape the link
+#: graph.  A summary is everything the predictor needs from the graph:
+#: (nbytes, max_out, max_in, max links per ordered pair, depth,
+#: bytes_per_iteration, n_links).
+_TOPOLOGY_CACHE: Dict[Tuple, Tuple] = {}
+
+
+def _topology_summary(config) -> Tuple:
+    key = (config.pattern, config.n_ranks, config.n_threads,
+           config.msg_bytes)
+    hit = _TOPOLOGY_CACHE.get(key)
+    if hit is not None:
+        return hit
+    from ..apps.base import build_pattern
+    from .patterns import _dependency_depth
+
+    pattern = build_pattern(config)
+    links = pattern.links()
+    if not links:
+        summary = (0, 0, 0, 0, 0, 0, 0)
+    else:
+        out_deg: Dict[int, int] = {}
+        in_deg: Dict[int, int] = {}
+        pair_links: Dict[Tuple[int, int], int] = {}
+        for link in links:
+            out_deg[link.src] = out_deg.get(link.src, 0) + 1
+            in_deg[link.dst] = in_deg.get(link.dst, 0) + 1
+            pair = (link.src, link.dst)
+            pair_links[pair] = pair_links.get(pair, 0) + 1
+        summary = (
+            links[0].nbytes,
+            max(out_deg.values()),
+            max(in_deg.values()),
+            max(pair_links.values()),
+            _dependency_depth(pattern, config.n_ranks),
+            pattern.bytes_per_iteration(),
+            len(links),
+        )
+    _TOPOLOGY_CACHE[key] = summary
+    return summary
+
+
+def _pattern_link_messages(approach: str, nbytes, n_threads, aggr):
+    """Vector twin of ``patterns._link_messages`` (approach constant)."""
+    if approach == "pt2pt_single" or approach == "pt2pt_part_old":
+        return np.ones_like(nbytes), nbytes
+    if approach == "pt2pt_part":
+        from ..mpi.partitioned import negotiate_message_count
+
+        stacked = np.stack([n_threads, nbytes, aggr])
+        uniq, inverse = np.unique(stacked, axis=1, return_inverse=True)
+        values = np.array(
+            [
+                negotiate_message_count(int(t), int(t), int(nb), int(a))
+                for t, nb, a in uniq.T
+            ],
+            dtype=np.int64,
+        )
+        n = values[np.asarray(inverse).reshape(-1)]
+        return n, nbytes // n
+    return n_threads, nbytes // n_threads
+
+
+def _pattern_per_message_vec(p, approach: str, msg_bytes, mult):
+    """Vector twin of ``patterns._per_message_costs``."""
+    if approach.startswith("rma"):
+        put = _put_msg_cost_vec(p, msg_bytes, mult)
+        if "passive" in approach:
+            per_link = (
+                _token_path(p, p.post_overhead)
+                + p.rma_sync_overhead
+                + 2.0 * _ctrl_path(p)
+            )
+        else:
+            per_link = p.rma_sync_overhead + _ctrl_path(p)
+        return put, per_link
+    if approach == "pt2pt_part_old":
+        post = p.post_overhead * mult + _copy_vec(p, msg_bytes)
+        wire = _wire_vec(p, msg_bytes)
+        rx = p.am_dispatch_overhead + _copy_vec(
+            p, np.minimum(msg_bytes, p.am_chunk_bytes)
+        )
+        msg = _MsgCostV(
+            post=post, wire=wire, rx=rx,
+            path=post + wire + p.latency + rx,
+        )
+        return msg, p.ctrl_overhead + 2.0 * p.part_completion_overhead
+    msg = _tag_msg_cost_vec(p, msg_bytes, mult)
+    per_link = 0.0
+    if approach == "pt2pt_part":
+        per_link = 2.0 * p.part_completion_overhead
+    return msg, per_link
+
+
+def _pattern_group_times(p, approach: str, configs) -> np.ndarray:
+    """Vector twin of ``patterns.predict_pattern_time`` for one
+    (approach, params) group."""
+    n = len(configs)
+    topo = [_topology_summary(c) for c in configs]
+    nbytes = np.array([t[0] for t in topo], dtype=np.int64)
+    max_out = np.array([t[1] for t in topo], dtype=np.int64)
+    max_in = np.array([t[2] for t in topo], dtype=np.int64)
+    max_pair_links = np.array([t[3] for t in topo], dtype=np.int64)
+    depth = np.array([t[4] for t in topo], dtype=np.int64)
+    n_links = np.array([t[6] for t in topo], dtype=np.int64)
+    n_threads = np.array([c.n_threads for c in configs], dtype=np.int64)
+    num_vcis = np.array(
+        [c.cvars.num_vcis for c in configs], dtype=np.int64
+    )
+    aggr = np.array(
+        [c.cvars.part_aggr_size for c in configs], dtype=np.int64
+    )
+    compute_rate = np.array(
+        [c.compute_us_per_mb for c in configs], dtype=np.float64
+    )
+
+    n_msgs, msg_bytes = _pattern_link_messages(
+        approach, nbytes, n_threads, aggr
+    )
+    max_pair = max_pair_links * n_msgs
+
+    lanes = np.maximum(1, np.minimum(n_threads, num_vcis))
+    per_vci = _ceil_div(n_threads, lanes)
+    contenders = (per_vci - 1).astype(np.float64)
+    rank_msgs = max_out * n_msgs
+    zcopy_approach = (
+        not approach.startswith("rma") and approach != "pt2pt_part_old"
+    )
+    zcopy = (
+        (msg_bytes > p.eager_max)
+        if zcopy_approach
+        else np.zeros(n, dtype=bool)
+    )
+    queue = zcopy & (lanes == 1) & (rank_msgs > 1)
+    contenders = np.where(
+        queue,
+        np.maximum(
+            contenders,
+            np.minimum(
+                _zcopy_queue_contenders(p), contenders + rank_msgs / 2.0
+            ),
+        ),
+        contenders,
+    )
+    mult = _mult_vec(p, contenders)
+    msg, per_link_sync = _pattern_per_message_vec(p, approach, msg_bytes, mult)
+    sync_tail = max_out * per_link_sync
+
+    mu = compute_rate * 1e-6 / 1e6
+    compute = max_out * mu * (nbytes / n_threads)
+
+    post_work = max_out * n_msgs * msg.post / lanes
+    post_work = post_work + np.where(
+        zcopy, max_in * n_msgs * p.ctrl_overhead * mult / lanes, 0.0
+    )
+    wire_work = np.maximum(
+        max_pair * msg.wire, max_out * n_msgs * msg.wire / lanes
+    )
+    rx_work = max_in * n_msgs * msg.rx / lanes
+    bottleneck = _chain_max(post_work, wire_work, rx_work)
+    if approach == "pt2pt_single":
+        hop = max_out * msg.path + sync_tail
+    else:
+        hop = (
+            np.maximum(bottleneck - compute, bottleneck / max_out)
+            + msg.path
+            + sync_tail
+        )
+    hop = hop + _barrier_vec(p, n_threads)
+    times = np.where(depth > 1, hop + (depth - 1) * (hop + compute), hop)
+    return np.where(n_links == 0, 0.0, times)
+
+
+def pattern_batch(configs: Sequence[Any]) -> PatternBatch:
+    """Vectorized predictions for a batch of ``PatternConfig`` objects.
+
+    Point ``i`` of ``times`` is bitwise-equal to
+    ``predict_pattern_time(configs[i]).time``; ``bytes_per_iteration``
+    and ``n_links`` match the pattern the scalar backend would build.
+    """
+    n = len(configs)
+    times = np.empty(n, dtype=np.float64)
+    groups: Dict[Any, List[int]] = {}
+    for i, config in enumerate(configs):
+        groups.setdefault((config.approach, config.params), []).append(i)
+    for (approach, params), indices in groups.items():
+        sub = [configs[i] for i in indices]
+        times[np.array(indices)] = _pattern_group_times(
+            params, approach, sub
+        )
+    topo = [_topology_summary(c) for c in configs]
+    return PatternBatch(
+        times=times,
+        bytes_per_iteration=np.array([t[5] for t in topo], dtype=np.int64),
+        n_links=np.array([t[6] for t in topo], dtype=np.int64),
+    )

@@ -18,6 +18,13 @@ results for every execution path in the repo:
 The figure drivers, ``bench.sweep``, ``apps.sweep``, and the CLI
 (``--jobs`` / ``--store`` / ``--resume``) all submit their grids here.
 
+Campaign-scale grids (10⁵–10⁶ points and beyond) go through
+:mod:`repro.runner.campaign` instead: the same declarative grid, but
+index-addressed chunks streamed into a sharded JSON-lines
+:class:`~repro.runner.campaign.CampaignStore` — a few hundred segment
+files instead of one file per point — with the analytic fast path
+decoding grid indices straight into vectorized-kernel columns.
+
 Quick start
 -----------
 >>> from repro.runner import ScenarioGrid, run_scenarios
@@ -32,6 +39,7 @@ Quick start
 4
 """
 
+from .campaign import CampaignStore, parse_grid_spec, run_campaign
 from .executor import (
     ParallelExecutor,
     RunReport,
@@ -39,6 +47,7 @@ from .executor import (
     run_scenarios,
     run_specs,
 )
+from .planner import Chunk, ExecutionPlan, plan_execution
 from .scenario import (
     DEFAULT_BACKEND,
     SCHEMA,
@@ -63,6 +72,12 @@ __all__ = [
     "ParallelExecutor",
     "RunReport",
     "ResultStore",
+    "CampaignStore",
+    "parse_grid_spec",
+    "run_campaign",
+    "Chunk",
+    "ExecutionPlan",
+    "plan_execution",
     "run_scenarios",
     "run_specs",
     "default_jobs",

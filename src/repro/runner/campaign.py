@@ -1,0 +1,997 @@
+"""Streaming campaign store + batched campaign execution (schema v2).
+
+A *campaign* is one declarative :class:`~repro.runner.scenario.ScenarioGrid`
+executed to completion, however many sessions that takes.  The v1
+:class:`~repro.runner.store.ResultStore` keeps one content-addressed
+JSON file per scenario — perfect for ad-hoc caching, hopeless for
+million-point grids (a million files, a content hash per point).  The
+campaign store exploits that a grid point is fully identified by
+``(grid content hash, row-major index)``:
+
+* ``campaign.json`` — the header: schema version, the full declarative
+  grid (so the campaign is self-describing and re-openable anywhere),
+  its content hash, and provenance (producing backend + schema
+  versions, so model output can never masquerade as measurements);
+* ``segments/seg-NNNNNN.jsonl`` — append-only JSON-lines segments, one
+  per completed chunk; line 1 is a tagged header, each following row is
+  ``[index, ...]`` in a per-segment *encoding* (compact ``bench-mean``
+  / ``pattern-mean`` rows for the deterministic analytic backend, full
+  ``result`` rows otherwise);
+* ``index.json`` — covered index ranges per segment.  It is a pure
+  accelerator: if it is missing or stale it is rebuilt by scanning the
+  segment headers, so resume works from the segments alone;
+* ``loose/loose-NNNNNN.jsonl`` — hash-addressed rows migrated from a
+  v1 store (:meth:`CampaignStore.migrate_from_v1`); they also serve as
+  a read-through cache for simulation-backed campaign chunks.
+
+:func:`run_campaign` executes the missing ranges chunk-by-chunk: the
+analytic fast path decodes grid indices straight into parameter columns
+for the vectorized model kernel (no spec objects, no content hashes —
+microseconds per point end-to-end), while simulation chunks go through
+the chunked :class:`~repro.runner.executor.ParallelExecutor`.  Each
+completed chunk is appended before the next starts, so an interrupted
+campaign resumes from its segments.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .scenario import (
+    GRID_SCHEMA,
+    KIND_BENCH,
+    KIND_PATTERN,
+    Scenario,
+    ScenarioGrid,
+)
+
+__all__ = [
+    "CAMPAIGN_SCHEMA",
+    "SEGMENT_SCHEMA",
+    "CampaignStore",
+    "parse_grid_spec",
+    "run_campaign",
+]
+
+CAMPAIGN_SCHEMA = "repro.campaign/v2"
+SEGMENT_SCHEMA = "repro.campaign.segment/v2"
+INDEX_SCHEMA = "repro.campaign.index/v2"
+
+#: Row encodings.  The ``*-mean`` encodings exploit that the analytic
+#: model is deterministic (every iteration sample identical): a row is
+#: ``[index, time]`` (+ ``bytes_per_iteration, n_links`` for patterns)
+#: and the full result dict is reconstructed on read.  The ``*-cols``
+#: encodings are the hot write path: one contiguous chunk stored as
+#: whole-column JSON arrays (indices implicit from the header range),
+#: serialized by one C-level ``json.dumps`` per column instead of one
+#: Python format call per point.
+ENC_RESULT = "result"
+ENC_BENCH_MEAN = "bench-mean"
+ENC_PATTERN_MEAN = "pattern-mean"
+ENC_BENCH_COLS = "bench-cols"
+ENC_PATTERN_COLS = "pattern-cols"
+ENC_HASHED = "hashed-result"
+
+#: Points per campaign chunk when the caller does not pin one.
+DEFAULT_INLINE_CHUNK = 16384
+DEFAULT_SIM_CHUNK = 32
+
+#: Target points per segment after compaction.
+COMPACT_SEGMENT_POINTS = 8192
+
+
+# ---------------------------------------------------------------------------
+# grid specs
+# ---------------------------------------------------------------------------
+
+def _expand_axis(name: str, values: Any) -> List[Any]:
+    """Expand one axis spec: a plain list, or a shorthand dict —
+    ``{"pow2": [lo, hi]}`` (powers of two 2**lo..2**hi inclusive),
+    ``{"range": [start, stop[, step]]}`` (Python range semantics), or
+    ``{"values": [...]}`` (explicit, same as a bare list)."""
+    if isinstance(values, Mapping):
+        if "pow2" in values:
+            lo, hi = values["pow2"]
+            return [1 << e for e in range(int(lo), int(hi) + 1)]
+        if "range" in values:
+            return list(range(*[int(v) for v in values["range"]]))
+        if "values" in values:
+            return list(values["values"])
+        raise ValueError(
+            f"axis {name!r}: unknown shorthand {sorted(values)!r} "
+            f"(expected pow2 / range / values)"
+        )
+    return list(values)
+
+
+def parse_grid_spec(payload: Mapping[str, Any]) -> ScenarioGrid:
+    """Build a :class:`ScenarioGrid` from a JSON grid spec.
+
+    The spec is the :meth:`ScenarioGrid.to_dict` form plus axis
+    shorthands (see :func:`_expand_axis`)::
+
+        {"kind": "bench", "backend": "analytic",
+         "base": {"n_threads": 4, "theta": 4, "iterations": 3},
+         "axes": {"approach": ["pt2pt_part", "pt2pt_single"],
+                  "total_bytes": {"pow2": [10, 24]}}}
+    """
+    expanded = dict(payload)
+    expanded["axes"] = {
+        name: _expand_axis(name, values)
+        for name, values in payload.get("axes", {}).items()
+    }
+    return ScenarioGrid.from_dict(expanded)
+
+
+# ---------------------------------------------------------------------------
+# interval bookkeeping
+# ---------------------------------------------------------------------------
+
+def _merge_ranges(ranges: Sequence[Sequence[int]]) -> List[Tuple[int, int]]:
+    """Union of half-open [start, stop) ranges, merged and sorted."""
+    merged: List[Tuple[int, int]] = []
+    for start, stop in sorted((int(s), int(e)) for s, e in ranges):
+        if stop <= start:
+            continue
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], stop))
+        else:
+            merged.append((start, stop))
+    return merged
+
+
+def _indices_to_ranges(indices: Sequence[int]) -> List[Tuple[int, int]]:
+    """Sorted unique indices -> contiguous [start, stop) runs."""
+    runs: List[Tuple[int, int]] = []
+    for i in indices:
+        if runs and i == runs[-1][1]:
+            runs[-1] = (runs[-1][0], i + 1)
+        else:
+            runs.append((i, i + 1))
+    return runs
+
+
+def _atomic_write(target: Path, text: str) -> None:
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        prefix=target.stem + ".", suffix=".tmp", dir=target.parent
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, target)
+    except BaseException:
+        os.unlink(tmp)
+        raise
+
+
+# ---------------------------------------------------------------------------
+# the store
+# ---------------------------------------------------------------------------
+
+class CampaignStore:
+    """A campaign root directory: header, segments, index, loose rows.
+
+    Use :meth:`create` for a new campaign and :meth:`open` for an
+    existing one; the constructor itself does no I/O.
+    """
+
+    def __init__(
+        self, root: str | Path, fallback: Optional[Any] = None
+    ):
+        self.root = Path(root)
+        #: Optional v1 :class:`~repro.runner.store.ResultStore` consulted
+        #: (after the loose rows) by :meth:`load_dict` — read-through
+        #: from the per-file store without migrating it.
+        self.fallback = fallback
+        self._header: Optional[dict] = None
+        self._grid: Optional[ScenarioGrid] = None
+        self._loose_map: Optional[Dict[str, dict]] = None
+
+    # -- lifecycle -----------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        root: str | Path,
+        grid: ScenarioGrid,
+        fallback: Optional[Any] = None,
+    ) -> "CampaignStore":
+        """Initialize a campaign root for ``grid``.
+
+        Re-creating over an existing root is allowed only when the grid
+        hash matches (the resume case); anything else raises rather
+        than silently mixing two campaigns in one directory.
+        """
+        from ..backends import get_backend
+
+        get_backend(grid.backend)  # unknown backend -> KeyError now
+        grid.validate()  # bad axis/base values fail before any I/O
+        store = cls(root, fallback=fallback)
+        header_path = store.root / "campaign.json"
+        grid_hash = grid.content_hash()
+        if header_path.is_file():
+            existing = json.loads(header_path.read_text())
+            if existing.get("grid_hash") != grid_hash:
+                raise ValueError(
+                    f"campaign root {store.root} already holds a "
+                    f"different grid ({existing.get('grid_hash')!r})"
+                )
+            return cls.open(root, fallback=fallback)
+        header = {
+            "schema": CAMPAIGN_SCHEMA,
+            "kind": grid.kind,
+            "backend": grid.backend,
+            "grid": grid.to_dict(),
+            "grid_hash": grid_hash,
+            "n_points": len(grid),
+            "producer": {
+                "backend": grid.backend,
+                "store_schema": CAMPAIGN_SCHEMA,
+                "grid_schema": GRID_SCHEMA,
+            },
+        }
+        _atomic_write(
+            header_path, json.dumps(header, sort_keys=True, indent=1) + "\n"
+        )
+        store._header = header
+        store._write_index([], [])
+        return store
+
+    @classmethod
+    def open(
+        cls, root: str | Path, fallback: Optional[Any] = None
+    ) -> "CampaignStore":
+        """Open an existing campaign root (rebuilding a lost index)."""
+        store = cls(root, fallback=fallback)
+        store.header  # validates
+        if store._read_index() is None:
+            store.rebuild_index()
+        return store
+
+    @property
+    def header(self) -> dict:
+        if self._header is None:
+            path = self.root / "campaign.json"
+            if not path.is_file():
+                raise FileNotFoundError(f"no campaign at {self.root}")
+            header = json.loads(path.read_text())
+            if header.get("schema") != CAMPAIGN_SCHEMA:
+                raise ValueError(
+                    f"unrecognized campaign schema "
+                    f"{header.get('schema')!r} in {path}"
+                )
+            self._header = header
+        return self._header
+
+    @property
+    def grid(self) -> ScenarioGrid:
+        if self._grid is None:
+            self._grid = ScenarioGrid.from_dict(self.header["grid"])
+        return self._grid
+
+    @property
+    def n_points(self) -> int:
+        return int(self.header["n_points"])
+
+    # -- index ---------------------------------------------------------------
+    def _read_index(self) -> Optional[dict]:
+        path = self.root / "index.json"
+        if not path.is_file():
+            return None
+        try:
+            index = json.loads(path.read_text())
+        except ValueError:
+            return None
+        if index.get("schema") != INDEX_SCHEMA:
+            return None
+        # Stale whenever a segment landed without an index update (the
+        # crash window between segment write and index write).  Files
+        # recorded as ignored (foreign/unreadable) are accounted for so
+        # their presence does not force a rescan on every operation.
+        listed = {entry["file"] for entry in index.get("segments", [])}
+        listed |= {entry["file"] for entry in index.get("loose", [])}
+        listed |= set(index.get("ignored", []))
+        on_disk = {
+            str(p.relative_to(self.root))
+            for pattern in ("segments/*.jsonl", "loose/*.jsonl")
+            for p in self.root.glob(pattern)
+        }
+        if listed != on_disk:
+            return None
+        return index
+
+    def _write_index(
+        self,
+        segments: List[dict],
+        loose: List[dict],
+        ignored: Sequence[str] = (),
+    ) -> None:
+        _atomic_write(
+            self.root / "index.json",
+            json.dumps(
+                self._index_payload(segments, loose, ignored),
+                sort_keys=True,
+                indent=1,
+            )
+            + "\n",
+        )
+
+    def _index(self) -> dict:
+        index = self._read_index()
+        if index is None:
+            index = self.rebuild_index()
+        return index
+
+    def rebuild_index(self) -> dict:
+        """Reconstruct ``index.json`` from the segment headers — the
+        resume-from-segments path after a crash or a deleted index.
+
+        Files whose header does not parse or belongs to a different
+        campaign are recorded under ``ignored`` (never as coverage), so
+        one rebuild converges even with foreign files in the tree.
+        """
+        segments: List[dict] = []
+        loose: List[dict] = []
+        ignored: List[str] = []
+        for path in sorted(self.root.glob("segments/*.jsonl")):
+            header = self._segment_header(path)
+            if header is None:
+                ignored.append(str(path.relative_to(self.root)))
+                continue
+            segments.append(
+                {
+                    "file": str(path.relative_to(self.root)),
+                    "ranges": header["ranges"],
+                    "count": header["count"],
+                    "encoding": header["encoding"],
+                    "backend": header["backend"],
+                }
+            )
+        for path in sorted(self.root.glob("loose/*.jsonl")):
+            header = self._segment_header(path)
+            if header is None:
+                ignored.append(str(path.relative_to(self.root)))
+                continue
+            loose.append(
+                {
+                    "file": str(path.relative_to(self.root)),
+                    "count": header["count"],
+                    "encoding": header["encoding"],
+                    "backend": header["backend"],
+                }
+            )
+        self._write_index(segments, loose, ignored)
+        return self._index_payload(segments, loose, ignored)
+
+    def _index_payload(self, segments, loose, ignored=()) -> dict:
+        return {
+            "schema": INDEX_SCHEMA,
+            "campaign": self.header["grid_hash"],
+            "segments": segments,
+            "loose": loose,
+            "ignored": list(ignored),
+        }
+
+    def _segment_header(self, path: Path) -> Optional[dict]:
+        try:
+            with path.open() as handle:
+                header = json.loads(handle.readline())
+        except (OSError, ValueError):
+            return None
+        if header.get("schema") != SEGMENT_SCHEMA:
+            return None
+        if header.get("campaign") != self.header["grid_hash"]:
+            return None
+        return header
+
+    # -- coverage ------------------------------------------------------------
+    def completed_ranges(self) -> List[Tuple[int, int]]:
+        """Merged [start, stop) index ranges covered by the segments."""
+        ranges: List[Sequence[int]] = []
+        for entry in self._index()["segments"]:
+            ranges.extend(entry["ranges"])
+        return _merge_ranges(ranges)
+
+    def missing_ranges(self) -> List[Tuple[int, int]]:
+        """Complement of :meth:`completed_ranges` over the grid."""
+        missing: List[Tuple[int, int]] = []
+        cursor = 0
+        for start, stop in self.completed_ranges():
+            if start > cursor:
+                missing.append((cursor, min(start, self.n_points)))
+            cursor = max(cursor, stop)
+        if cursor < self.n_points:
+            missing.append((cursor, self.n_points))
+        return missing
+
+    @property
+    def n_completed(self) -> int:
+        return sum(stop - start for start, stop in self.completed_ranges())
+
+    # -- writing -------------------------------------------------------------
+    def _write_segment(
+        self,
+        body_lines: List[str],
+        encoding: str,
+        ranges: Sequence[Tuple[int, int]],
+        count: int,
+        backend: Optional[str],
+        existing_segments: List[dict],
+    ) -> Tuple[Path, dict]:
+        """Write one segment file (atomic) and return its index entry.
+
+        The single owner of the segment protocol — naming, tagged
+        header, file body — shared by the row and the columnar append
+        paths.  Does *not* touch ``index.json``; callers batch their
+        index updates.
+        """
+        backend = backend if backend is not None else self.header["backend"]
+        seq = len(existing_segments)
+        name = f"segments/seg-{seq:06d}.jsonl"
+        while (self.root / name).exists():  # compaction may renumber
+            seq += 1
+            name = f"segments/seg-{seq:06d}.jsonl"
+        header = {
+            "schema": SEGMENT_SCHEMA,
+            "campaign": self.header["grid_hash"],
+            "kind": self.header["kind"],
+            "backend": backend,
+            "encoding": encoding,
+            "ranges": [[int(s), int(e)] for s, e in ranges],
+            "count": int(count),
+        }
+        lines = [json.dumps(header, sort_keys=True)]
+        lines.extend(body_lines)
+        target = self.root / name
+        _atomic_write(target, "\n".join(lines) + "\n")
+        entry = {
+            "file": name,
+            "ranges": header["ranges"],
+            "count": header["count"],
+            "encoding": encoding,
+            "backend": backend,
+        }
+        return target, entry
+
+    @staticmethod
+    def _encode_rows(rows: List[list], encoding: str) -> List[str]:
+        """Body lines for row-encoded segments."""
+        if encoding in (ENC_BENCH_MEAN, ENC_PATTERN_MEAN):
+            # Row-per-point compact form ([int, float, ...] is valid
+            # JSON, repr is cheaper than json.dumps per row).
+            return [
+                "[" + ",".join(repr(v) for v in row) + "]" for row in rows
+            ]
+        return [
+            json.dumps(row, sort_keys=True, separators=(",", ":"))
+            for row in rows
+        ]
+
+    def append_chunk(
+        self,
+        rows: List[list],
+        encoding: str,
+        ranges: Sequence[Tuple[int, int]],
+        backend: Optional[str] = None,
+    ) -> Path:
+        """Append one completed chunk as a new segment (atomic).
+
+        ``rows`` are pre-encoded row lists (first element the grid
+        index); ``ranges`` the [start, stop) coverage they represent.
+        """
+        index = self._index()
+        segments = list(index["segments"])
+        target, entry = self._write_segment(
+            self._encode_rows(rows, encoding), encoding, ranges,
+            len(rows), backend, segments,
+        )
+        segments.append(entry)
+        self._write_index(
+            segments, index["loose"], index.get("ignored", [])
+        )
+        return target
+
+    def append_columns(
+        self,
+        start: int,
+        stop: int,
+        columns: Sequence[Sequence],
+        encoding: str,
+        backend: Optional[str] = None,
+    ) -> Path:
+        """Append one *contiguous* chunk in columnar form (hot path).
+
+        ``columns`` are whole-chunk value lists (times, and for
+        patterns bytes/links), one JSON array line each; point ``i`` of
+        every column belongs to grid index ``start + i``.  One C-level
+        ``json.dumps`` per column replaces a Python format call per
+        point — this is what keeps million-point campaigns at
+        O(100ns/point) serialization cost.
+        """
+        if encoding not in (ENC_BENCH_COLS, ENC_PATTERN_COLS):
+            raise ValueError(f"not a columnar encoding: {encoding!r}")
+        index = self._index()
+        segments = list(index["segments"])
+        target, entry = self._write_segment(
+            [json.dumps(list(column)) for column in columns],
+            encoding, [(start, stop)], int(stop) - int(start),
+            backend, segments,
+        )
+        segments.append(entry)
+        self._write_index(
+            segments, index["loose"], index.get("ignored", [])
+        )
+        return target
+
+    # -- reading -------------------------------------------------------------
+    def _iterations_at(self, index: int) -> int:
+        grid = self.grid
+        if "iterations" in grid.axes:
+            return int(grid.assignment_at(index)["iterations"])
+        if "iterations" in grid.base:
+            return int(grid.base["iterations"])
+        return 30 if grid.kind == KIND_BENCH else 10
+
+    def _decode_row(self, row: list, encoding: str) -> Tuple[int, dict]:
+        index = int(row[0])
+        if encoding == ENC_RESULT:
+            return index, row[1]
+        iterations = self._iterations_at(index)
+        if encoding == ENC_BENCH_MEAN:
+            return index, {
+                "times": [float(row[1])] * iterations,
+                "retries": 0,
+                "verified": True,
+            }
+        if encoding == ENC_PATTERN_MEAN:
+            return index, {
+                "times": [float(row[1])] * iterations,
+                "bytes_per_iteration": int(row[2]),
+                "n_links": int(row[3]),
+            }
+        raise ValueError(f"unknown segment encoding {encoding!r}")
+
+    def _raw_rows(self) -> Iterator[Tuple[int, list, str]]:
+        """Yield ``(index, raw_row, encoding)`` over all segments in
+        append order (duplicates possible across overlapping appends).
+
+        Columnar segments are unpacked into the equivalent row form, so
+        every consumer (iteration, export, compaction) sees one row
+        dialect per kind.
+        """
+        for entry in self._index()["segments"]:
+            path = self.root / entry["file"]
+            encoding = entry["encoding"]
+            with path.open() as handle:
+                header = json.loads(handle.readline())
+                if encoding in (ENC_BENCH_COLS, ENC_PATTERN_COLS):
+                    columns = [json.loads(line) for line in handle if line.strip()]
+                    start = header["ranges"][0][0]
+                    row_encoding = (
+                        ENC_BENCH_MEAN
+                        if encoding == ENC_BENCH_COLS
+                        else ENC_PATTERN_MEAN
+                    )
+                    for j, values in enumerate(zip(*columns)):
+                        yield start + j, [start + j, *values], row_encoding
+                    continue
+                for line in handle:
+                    if not line.strip():
+                        continue
+                    row = json.loads(line)
+                    yield int(row[0]), row, encoding
+
+    def iter_rows(self) -> Iterator[Tuple[int, dict]]:
+        """Yield ``(grid_index, result_dict)`` sorted by index, one per
+        point (on duplicate coverage the latest append wins)."""
+        latest: Dict[int, Tuple[list, str]] = {}
+        for index, row, encoding in self._raw_rows():
+            latest[index] = (row, encoding)
+        for index in sorted(latest):
+            row, encoding = latest[index]
+            yield self._decode_row(row, encoding)
+
+    def scenario_at(self, index: int) -> Scenario:
+        return self.grid.scenario_at(index)
+
+    def assignment_at(self, index: int) -> Dict[str, Any]:
+        return self.grid.assignment_at(index)
+
+    def query(self, **filters) -> Iterator[Tuple[int, Dict[str, Any], dict]]:
+        """Yield ``(index, axis_assignment, result_dict)`` for completed
+        points whose axis assignment matches every filter, e.g.
+        ``store.query(approach="pt2pt_part", n_threads=4)``."""
+        for index, result in self.iter_rows():
+            assignment = self.assignment_at(index)
+            probe = {**self.grid.base, **assignment}
+            if all(
+                name in probe and probe[name] == value
+                for name, value in filters.items()
+            ):
+                yield index, assignment, result
+
+    def export_jsonl(self, target, where: Optional[dict] = None) -> int:
+        """Dump completed points as JSON-lines ``{"index", "assignment",
+        "result"}`` records to a path or file object; returns the row
+        count.  ``where`` filters points by spec field values (the
+        :meth:`query` semantics)."""
+        def _records():
+            if where:
+                for index, assignment, result in self.query(**where):
+                    yield index, assignment, result
+            else:
+                for index, result in self.iter_rows():
+                    yield index, self.assignment_at(index), result
+
+        def _write(handle) -> int:
+            count = 0
+            for index, assignment, result in _records():
+                handle.write(
+                    json.dumps(
+                        {
+                            "index": index,
+                            "assignment": assignment,
+                            "result": result,
+                        },
+                        sort_keys=True,
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                )
+                count += 1
+            return count
+
+        if hasattr(target, "write"):
+            return _write(target)
+        path = Path(target)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as handle:
+            return _write(handle)
+
+    # -- maintenance ---------------------------------------------------------
+    def compact(self) -> dict:
+        """Merge the indexed segments into few large, sorted,
+        duplicate-free segments; returns a summary dict.
+
+        Crash-safe ordering: the replacement segments are fully written
+        *before* the index switches over and the old files are removed.
+        A crash mid-compact leaves old and new segments coexisting with
+        a stale index — :meth:`rebuild_index` then sees both, coverage
+        is unchanged, and duplicate rows resolve via latest-append-wins
+        (the replacements sort after the originals).
+        """
+        latest: Dict[int, Tuple[list, str]] = {}
+        for index, row, encoding in self._raw_rows():
+            latest[index] = (row, encoding)
+        by_encoding: Dict[str, List[list]] = {}
+        for index in sorted(latest):
+            row, encoding = latest[index]
+            by_encoding.setdefault(encoding, []).append(row)
+        index = self._index()
+        old_files = [entry["file"] for entry in index["segments"]]
+        before = len(old_files)
+        new_segments: List[dict] = []
+        for encoding, rows in sorted(by_encoding.items()):
+            for start in range(0, len(rows), COMPACT_SEGMENT_POINTS):
+                part = rows[start:start + COMPACT_SEGMENT_POINTS]
+                ranges = _indices_to_ranges([int(r[0]) for r in part])
+                _, entry = self._write_segment(
+                    self._encode_rows(part, encoding), encoding, ranges,
+                    len(part), None, index["segments"] + new_segments,
+                )
+                new_segments.append(entry)
+        self._write_index(
+            new_segments, index["loose"], index.get("ignored", [])
+        )
+        for rel in old_files:
+            (self.root / rel).unlink(missing_ok=True)
+        return {
+            "segments_before": before,
+            "segments_after": len(new_segments),
+            "points": len(latest),
+        }
+
+    def stats(self) -> dict:
+        """Campaign health summary (the ``campaign status`` view)."""
+        index = self._index()
+        total_bytes = sum(
+            (self.root / entry["file"]).stat().st_size
+            for group in ("segments", "loose")
+            for entry in index[group]
+            if (self.root / entry["file"]).is_file()
+        )
+        return {
+            "root": str(self.root),
+            "schema": CAMPAIGN_SCHEMA,
+            "kind": self.header["kind"],
+            "backend": self.header["backend"],
+            "grid_hash": self.header["grid_hash"],
+            "n_points": self.n_points,
+            "completed": self.n_completed,
+            "missing": self.n_points - self.n_completed,
+            "segments": len(index["segments"]),
+            "loose_rows": sum(e["count"] for e in index["loose"]),
+            "total_bytes": total_bytes,
+        }
+
+    # -- v1 interop ----------------------------------------------------------
+    def migrate_from_v1(self, result_store) -> int:
+        """Copy a v1 per-file store's records into hash-addressed loose
+        segments; returns the count of *newly* migrated records.
+
+        Idempotent: records whose hash is already present in the loose
+        rows are skipped, so re-running a migration (e.g. after an
+        interrupted session) never duplicates data.  The v1 store is
+        left untouched.
+        """
+        present = self._loose()
+        rows = [
+            {"hash": digest, "scenario": scenario, "result": result}
+            for digest, scenario, result in result_store.iter_payloads()
+            if digest not in present
+        ]
+        if not rows:
+            return 0
+        index = self._index()
+        loose = list(index["loose"])
+        seq = len(loose)
+        name = f"loose/loose-{seq:06d}.jsonl"
+        while (self.root / name).exists():  # e.g. an ignored stray file
+            seq += 1
+            name = f"loose/loose-{seq:06d}.jsonl"
+        header = {
+            "schema": SEGMENT_SCHEMA,
+            "campaign": self.header["grid_hash"],
+            "kind": self.header["kind"],
+            "backend": "v1-migration",
+            "encoding": ENC_HASHED,
+            "ranges": [],
+            "count": len(rows),
+        }
+        lines = [json.dumps(header, sort_keys=True)]
+        lines.extend(
+            json.dumps(row, sort_keys=True, separators=(",", ":"))
+            for row in rows
+        )
+        _atomic_write(self.root / name, "\n".join(lines) + "\n")
+        loose.append(
+            {
+                "file": name,
+                "count": len(rows),
+                "encoding": ENC_HASHED,
+                "backend": "v1-migration",
+            }
+        )
+        self._write_index(
+            index["segments"], loose, index.get("ignored", [])
+        )
+        self._loose_map = None
+        return len(rows)
+
+    def _loose(self) -> Dict[str, dict]:
+        if self._loose_map is None:
+            self._loose_map = {}
+            for entry in self._index()["loose"]:
+                path = self.root / entry["file"]
+                with path.open() as handle:
+                    handle.readline()
+                    for line in handle:
+                        if not line.strip():
+                            continue
+                        row = json.loads(line)
+                        self._loose_map[row["hash"]] = row["result"]
+        return self._loose_map
+
+    def load_dict(self, scenario: Scenario) -> Optional[dict]:
+        """Read-through lookup by scenario identity: migrated loose
+        rows first, then the attached v1 fallback store (if any)."""
+        result = self._loose().get(scenario.content_hash())
+        if result is not None:
+            return result
+        if self.fallback is not None:
+            return self.fallback.load_dict(scenario)
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug repr
+        return f"<CampaignStore {str(self.root)!r}>"
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+
+def _fast_bench_axes_ok(grid: ScenarioGrid) -> bool:
+    """True when every axis is either a model input the column kernel
+    accepts or a field the model provably ignores."""
+    from ..model.vector import BENCH_COLUMN_FIELDS
+
+    ignorable = {
+        "iterations", "warmup", "seed", "verify", "max_retries",
+        "ci_fraction", "gaussian_epsilon", "gaussian_delta",
+    }
+    return set(grid.axes) <= set(BENCH_COLUMN_FIELDS) | ignorable
+
+
+def _bench_fast_columns(
+    grid: ScenarioGrid, start: int, stop: int
+) -> List[list]:
+    """The analytic-bench fast path: grid indices -> parameter columns
+    -> vectorized kernel -> one times column, no spec objects anywhere."""
+    import numpy as np
+
+    from ..model.vector import BENCH_COLUMN_FIELDS, bench_times_from_columns
+    from ..mpi import Cvars
+    from ..net import MELUXINA
+
+    indices = np.arange(start, stop, dtype=np.int64)
+    axis_cols = grid.axis_columns(indices)
+    if "approach" in grid.axes:
+        # Factorized straight from the grid digits: no string
+        # materialization or hashing over the chunk.
+        axis_cols["approach"] = (
+            list(grid.axes["approach"]),
+            grid.axis_codes("approach", indices),
+        )
+    columns: Dict[str, Any] = {}
+    for name in BENCH_COLUMN_FIELDS:
+        if name in axis_cols:
+            columns[name] = axis_cols[name]
+        elif name in grid.base:
+            columns[name] = grid.base[name]
+    params = grid.base.get("params", MELUXINA)
+    cvars = grid.base.get("cvars") or Cvars()
+    times = bench_times_from_columns(
+        params,
+        cvars.num_vcis,
+        cvars.vci_method,
+        cvars.part_aggr_size,
+        columns,
+        len(indices),
+    )
+    return [times.tolist()]
+
+
+def _pattern_columns(grid: ScenarioGrid, start: int, stop: int) -> List[list]:
+    """Analytic pattern chunk: configs -> vectorized kernel -> columns."""
+    from ..model.vector import pattern_batch
+
+    configs = [grid.scenario_at(i).spec for i in range(start, stop)]
+    batch = pattern_batch(configs)
+    return [
+        batch.times.tolist(),
+        batch.bytes_per_iteration.tolist(),
+        batch.n_links.tolist(),
+    ]
+
+
+def run_campaign(
+    store: CampaignStore,
+    jobs: int = 1,
+    chunk_points: Optional[int] = None,
+    limit: Optional[int] = None,
+    pool: str = "auto",
+    progress=None,
+) -> dict:
+    """Execute a campaign's missing points, chunk by chunk.
+
+    Each completed chunk is appended to the store before the next one
+    starts (streaming: an interrupted run resumes from its segments).
+    ``limit`` caps the points executed by this invocation (useful for
+    time-boxed sessions and the CI resume assertion).  Returns a
+    summary dict (points executed, chunks, wall seconds, points/s).
+    """
+    from ..backends import get_backend
+    from .executor import ParallelExecutor
+    from .scenario import result_to_dict
+
+    grid = store.grid
+    backend = get_backend(grid.backend)
+    if chunk_points is None:
+        # Sim chunks must stay large enough relative to the worker
+        # count that the executor's auto pool policy (pool only when
+        # points >= 2x workers) can actually engage at high --jobs.
+        chunk_points = (
+            DEFAULT_INLINE_CHUNK
+            if backend.inline
+            else max(DEFAULT_SIM_CHUNK, 4 * jobs)
+        )
+    chunk_points = max(1, int(chunk_points))
+    fast_bench = (
+        backend.inline
+        and grid.kind == KIND_BENCH
+        and grid.backend == "analytic"
+        and _fast_bench_axes_ok(grid)
+    )
+    executor = (
+        None
+        if backend.inline
+        else ParallelExecutor(jobs=jobs, pool=pool)
+    )
+
+    t0 = time.perf_counter()
+    executed = 0
+    cached = 0
+    chunks = 0
+    budget = limit if limit is not None else store.n_points
+    for range_start, range_stop in store.missing_ranges():
+        for start in range(range_start, range_stop, chunk_points):
+            if budget <= 0:
+                break
+            stop = min(start + chunk_points, range_stop, start + budget)
+            if fast_bench:
+                store.append_columns(
+                    start, stop, _bench_fast_columns(grid, start, stop),
+                    ENC_BENCH_COLS, backend=grid.backend,
+                )
+                rows = None
+                executed += stop - start
+            elif backend.inline and grid.kind == KIND_PATTERN:
+                store.append_columns(
+                    start, stop, _pattern_columns(grid, start, stop),
+                    ENC_PATTERN_COLS, backend=grid.backend,
+                )
+                rows = None
+                executed += stop - start
+            elif backend.inline:
+                scenarios = [grid.scenario_at(i) for i in range(start, stop)]
+                results = backend.run_batch(scenarios)
+                rows = [
+                    [start + j, result_to_dict(scenarios[j], results[j])]
+                    for j in range(len(scenarios))
+                ]
+                encoding = ENC_RESULT
+                executed += stop - start
+            else:
+                scenarios = [grid.scenario_at(i) for i in range(start, stop)]
+                rows = []
+                cold: List[int] = []
+                for j, scenario in enumerate(scenarios):
+                    warm = store.load_dict(scenario)
+                    if warm is not None:
+                        rows.append([start + j, warm])
+                        cached += 1
+                    else:
+                        cold.append(j)
+                report = executor.run([scenarios[j] for j in cold])
+                for j, result_dict in zip(cold, report.result_dicts):
+                    rows.append([start + j, result_dict])
+                rows.sort(key=lambda row: row[0])
+                encoding = ENC_RESULT
+                executed += len(cold)
+            if rows is not None:
+                store.append_chunk(
+                    rows, encoding, [(start, stop)], backend=grid.backend
+                )
+            budget -= stop - start
+            chunks += 1
+            if progress is not None:
+                progress(
+                    f"[campaign] {store.n_completed}/{store.n_points} "
+                    f"points ({chunks} chunk(s) this run)"
+                )
+        if budget <= 0:
+            break
+    wall = time.perf_counter() - t0
+    return {
+        "executed": executed,
+        "cached": cached,
+        "chunks": chunks,
+        "wall_s": wall,
+        "points_per_s": (executed / wall) if wall > 0 else None,
+        "completed": store.n_completed,
+        "n_points": store.n_points,
+    }

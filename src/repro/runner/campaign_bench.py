@@ -1,0 +1,176 @@
+"""Campaign self-benchmark: the ``BENCH_campaign.json`` artifact.
+
+Runs one fixed ≥10⁵-point analytic grid through three pipelines and
+records each throughput, so the whole point of the batched refactor is
+a recorded, regenerable number instead of a claim:
+
+* **batched** — the campaign pipeline end-to-end: grid-index decode →
+  vectorized kernel → columnar JSONL segments (what this PR adds);
+* **per-point pipeline** — the PR-3 status quo for a persisted
+  campaign: one ``Backend.run()`` per point, one content-hashed JSON
+  file per point in a v1 :class:`~repro.runner.store.ResultStore` (the
+  ``speedup`` headline is batched vs this, measured on a subsample and
+  scaled — running it on all 10⁵ points would add minutes and a
+  hundred thousand inodes for the same number);
+* **per-point execute only** — bare ``execute() + result_to_dict``
+  with no persistence, the lower bound any per-point loop could reach
+  (reported for transparency as ``speedup_vs_execute_only``).
+
+Run:  ``python -m repro campaign-bench [--json PATH] [--sizes N]``
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional
+
+from .campaign import CAMPAIGN_SCHEMA, CampaignStore, parse_grid_spec, run_campaign
+
+__all__ = ["DEFAULT_JSON_PATH", "campaign_grid_spec", "benchmark_campaign"]
+
+#: Default persistence target (picked up by the perf trajectory).
+DEFAULT_JSON_PATH = "BENCH_campaign.json"
+
+_SCHEMA = "repro.campaign.bench/v1"
+
+#: Size-axis length of the fixed benchmark grid.  The default crosses
+#: 8 approaches x 320 sizes x 4 thread counts x 2 theta x 5 compute
+#: rates = 102,400 points.
+DEFAULT_N_SIZES = 320
+
+#: Points of the per-point *pipeline* baseline (executor + one JSON
+#: file per point): a uniform stride over the grid, timed and scaled.
+PIPELINE_SAMPLE_POINTS = 4096
+
+
+def campaign_grid_spec(n_sizes: int = DEFAULT_N_SIZES) -> dict:
+    """The fixed analytic campaign grid (declarative JSON spec form)."""
+    return {
+        "kind": "bench",
+        "backend": "analytic",
+        "base": {"iterations": 3},
+        "axes": {
+            "approach": [
+                "pt2pt_single",
+                "pt2pt_many",
+                "pt2pt_part",
+                "pt2pt_part_old",
+                "rma_single_passive",
+                "rma_many_passive",
+                "rma_single_active",
+                "rma_many_active",
+            ],
+            "total_bytes": {"range": [1024, 1024 + n_sizes * 4096, 4096]},
+            "n_threads": [1, 4, 16, 32],
+            "theta": [1, 2],
+            "gamma_us_per_mb": [0.0, 50.0, 100.0, 200.0, 400.0],
+        },
+    }
+
+
+def benchmark_campaign(
+    path: str | Path = DEFAULT_JSON_PATH,
+    n_sizes: int = DEFAULT_N_SIZES,
+    root: Optional[str | Path] = None,
+) -> dict:
+    """Run the fixed grid batched and per-point; persist the timings.
+
+    ``root`` keeps the campaign directory for inspection; by default it
+    lives in a temp dir and is removed after the measurement.  Returns
+    the written payload.
+    """
+    from .scenario import execute, result_to_dict
+    from .store import ResultStore
+
+    grid = parse_grid_spec(campaign_grid_spec(n_sizes))
+    keep = root is not None
+    work = Path(root) if keep else Path(tempfile.mkdtemp()) / "campaign"
+    work.mkdir(parents=True, exist_ok=True)
+    try:
+        # Warm the lazy imports (bench/apps/model layers load on first
+        # execute) so no pipeline is charged one-time import cost.
+        warm = grid.scenario_at(0)
+        result_to_dict(warm, execute(warm))
+
+        t0 = time.perf_counter()
+        store = CampaignStore.create(work / "store", grid)
+        summary = run_campaign(store)
+        batched_wall = time.perf_counter() - t0
+        if summary["executed"] != len(grid):
+            raise RuntimeError(
+                f"campaign root {work / 'store'} already held "
+                f"{len(grid) - summary['executed']} of {len(grid)} points; "
+                f"a resumed run would record inflated throughput — "
+                f"benchmark against an empty --root"
+            )
+        store_stats = store.stats()
+
+        # PR-3 per-point pipeline on a uniform subsample, scaled: one
+        # Backend.run() per point, one content-hashed file per point.
+        # (Deliberately NOT through the current executor — it would
+        # route the analytic batch through run_batch and measure the
+        # vectorized kernel instead of the per-point status quo.)
+        stride = max(1, len(grid) // PIPELINE_SAMPLE_POINTS)
+        sample = [
+            grid.scenario_at(i) for i in range(0, len(grid), stride)
+        ]
+        v1_store = ResultStore(work / "v1-store")
+        t0 = time.perf_counter()
+        for scenario in sample:
+            v1_store.put_dict(
+                scenario, result_to_dict(scenario, execute(scenario))
+            )
+        pipeline_wall = time.perf_counter() - t0
+        pipeline_pps = len(sample) / pipeline_wall
+
+        t0 = time.perf_counter()
+        per_point = 0
+        for _, scenario in grid.points():
+            result_to_dict(scenario, execute(scenario))
+            per_point += 1
+        execute_wall = time.perf_counter() - t0
+        execute_pps = per_point / execute_wall
+    finally:
+        if not keep:
+            shutil.rmtree(work.parent, ignore_errors=True)
+
+    batched_pps = len(grid) / batched_wall
+    payload = {
+        "schema": _SCHEMA,
+        #: Provenance: these are model evaluations, never measurements.
+        "backend": "analytic",
+        "campaign_schema": CAMPAIGN_SCHEMA,
+        "grid": campaign_grid_spec(n_sizes),
+        "n_points": len(grid),
+        "python": platform.python_version(),
+        "batched": {
+            "wall_s": round(batched_wall, 4),
+            "points_per_s": round(batched_pps, 1),
+            "chunks": summary["chunks"],
+            "segments": store_stats["segments"],
+            "store_bytes": store_stats["total_bytes"],
+        },
+        "per_point_pipeline": {
+            "description": "one Backend.run() + one content-hashed JSON "
+                           "file per point (v1 ResultStore), sampled",
+            "sample_points": len(sample),
+            "wall_s": round(pipeline_wall, 4),
+            "points_per_s": round(pipeline_pps, 1),
+            "projected_wall_s": round(len(grid) / pipeline_pps, 1),
+        },
+        "per_point_execute_only": {
+            "description": "bare execute() + result_to_dict, no store",
+            "wall_s": round(execute_wall, 4),
+            "points_per_s": round(execute_pps, 1),
+        },
+        "speedup": round(batched_pps / pipeline_pps, 1),
+        "speedup_vs_execute_only": round(batched_pps / execute_pps, 1),
+    }
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload

@@ -1,36 +1,42 @@
-"""Parallel scenario fan-out with deterministic, serial-identical results.
+"""Chunked scenario fan-out with deterministic, serial-identical results.
 
 Every scenario builds its own :class:`~repro.mpi.world.MPIWorld` and
 shares no state with its neighbours, so a grid is embarrassingly
-parallel.  The :class:`ParallelExecutor` fans scenarios out across a
-``multiprocessing`` pool and reassembles results **in submission
-order**, and both the serial and the parallel path move results through
-the same serialized form (:func:`~repro.runner.scenario.result_to_dict`)
-— so the output of ``jobs=N`` is byte-identical to ``jobs=1``.
-
-``jobs=1`` (or a single pending scenario) never touches
-``multiprocessing``: it executes in-process, which keeps tracebacks
-direct and makes the serial path usable everywhere (tests, notebooks,
-platforms without ``fork``).
+parallel.  The :class:`ParallelExecutor` asks the planner
+(:mod:`repro.runner.planner`) to partition a batch into **chunks** and
+fans the pooled chunks out across a ``multiprocessing`` pool — one pool
+task per chunk, not per point, so fork/pickle/IPC overhead amortizes
+over many scenarios.  Results stream back chunk by chunk (store writes
+land incrementally, in completion order) and are reassembled **in
+submission order**; both the serial and the parallel path move results
+through the same serialized form
+(:func:`~repro.runner.scenario.result_to_dict`) — so the output of
+``jobs=N`` is byte-identical to ``jobs=1``.
 
 Dispatch is backend-aware: scenarios whose backend is *inline* (the
-analytic model — microseconds per point) always run in-process, even in
-a ``jobs=N`` submission; only simulation-backed scenarios are worth a
-worker process.  A mixed batch splits accordingly and still reassembles
-in submission order.
+analytic model — microseconds per point) never go to the pool; the
+whole inline sub-batch is handed to
+:meth:`~repro.backends.base.Backend.run_batch` in one call, which the
+analytic backend evaluates through the vectorized model kernel.  Only
+simulation-backed scenarios are worth worker processes — and only when
+the grid is big enough: the default ``pool="auto"`` policy falls back
+to in-process serial execution for tiny grids and single-CPU machines,
+where the pool's fork overhead cannot pay for itself (the historical
+``BENCH_runner.json`` regression).
 
 With a :class:`~repro.runner.store.ResultStore` attached, computed
-results are recorded and — under ``resume=True`` — already-recorded
-scenarios are served from the store without running a single simulation.
+results are recorded chunk-by-chunk and — under ``resume=True`` —
+already-recorded scenarios are served from the store without running a
+single simulation.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-import os
 from dataclasses import dataclass, field
 from typing import Any, Iterable, List, Optional, Sequence
 
+from .planner import plan_execution
 from .scenario import (
     Scenario,
     execute,
@@ -45,17 +51,25 @@ __all__ = ["ParallelExecutor", "RunReport", "run_scenarios", "run_specs"]
 
 def default_jobs() -> int:
     """The default worker count: one per available CPU."""
+    import os
+
     return os.cpu_count() or 1
 
 
 def _execute_payload(payload: dict) -> dict:
-    """Pool worker: scenario dict in, result dict out.
-
-    Module-level (picklable) and dict-in/dict-out so that exactly the
-    serialized representation crosses the process boundary.
-    """
+    """Pool worker (one point): scenario dict in, result dict out."""
     scenario = Scenario.from_dict(payload)
     return result_to_dict(scenario, execute(scenario))
+
+
+def _execute_chunk(payloads: List[dict]) -> List[dict]:
+    """Pool worker (one chunk): scenario dicts in, result dicts out.
+
+    Module-level (picklable) and dict-in/dict-out so that exactly the
+    serialized representation crosses the process boundary — once per
+    chunk instead of once per point.
+    """
+    return [_execute_payload(payload) for payload in payloads]
 
 
 @dataclass
@@ -67,12 +81,17 @@ class RunReport:
     #: Serialized result dicts, parallel to ``results`` (the byte-stable
     #: form used for determinism checks and store records).
     result_dicts: List[dict] = field(default_factory=list)
-    #: Number of scenarios actually simulated by this submission.
+    #: Number of scenarios actually executed by this submission.
     executed: int = 0
     #: Number of scenarios served from the store without running.
     cached: int = 0
-    #: Worker count used for the simulated portion.
+    #: Worker count requested for the simulated portion.
     jobs: int = 1
+    #: Chunks the planner produced (inline + pooled).
+    chunks: int = 0
+    #: True when the pooled portion actually used the process pool
+    #: (False under the tiny-grid / single-CPU auto-serial fallback).
+    pool_used: bool = False
 
     def canonical_json(self) -> str:
         """Canonical serialization of the batch's results (sorted keys),
@@ -86,7 +105,7 @@ class RunReport:
 
 
 class ParallelExecutor:
-    """Runs scenario batches across a process pool.
+    """Runs scenario batches across a process pool, chunk-wise.
 
     Parameters
     ----------
@@ -97,6 +116,13 @@ class ParallelExecutor:
         Optional default :class:`ResultStore` for :meth:`run`.
     resume:
         Default resume behaviour for :meth:`run`.
+    chunk_size:
+        Points per pooled chunk; ``None`` lets the planner size chunks
+        (a few per worker, capped — see
+        :func:`~repro.runner.planner.auto_chunk_size`).
+    pool:
+        Pool policy: ``"auto"`` (default; serial fallback for tiny
+        grids and single-CPU machines), ``"always"``, or ``"never"``.
     """
 
     def __init__(
@@ -104,12 +130,16 @@ class ParallelExecutor:
         jobs: Optional[int] = None,
         store: Optional[ResultStore] = None,
         resume: bool = False,
+        chunk_size: Optional[int] = None,
+        pool: str = "auto",
     ):
         self.jobs = default_jobs() if jobs is None else int(jobs)
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.store = store
         self.resume = resume
+        self.chunk_size = chunk_size
+        self.pool = pool
 
     def run(
         self,
@@ -118,6 +148,8 @@ class ParallelExecutor:
         resume: Optional[bool] = None,
     ) -> RunReport:
         """Execute a batch; results come back in submission order."""
+        from ..backends import get_backend
+
         batch: Sequence[Scenario] = list(scenarios)
         store = store if store is not None else self.store
         resume = self.resume if resume is None else resume
@@ -140,41 +172,65 @@ class ParallelExecutor:
             else:
                 pending.append(i)
 
-        # Fan the cold points out (or run them inline for jobs=1).
-        # Results are recorded in the store as each one lands, so an
-        # interrupted run keeps its completed prefix for --resume.
-        # Inline-backend scenarios (analytic: microseconds per point)
-        # never go to the pool — fork/pickle overhead would dominate.
-        from ..backends import get_backend
+        plan = plan_execution(
+            batch, pending, self.jobs,
+            chunk_size=self.chunk_size, pool=self.pool,
+        )
+        report.chunks = len(plan.inline_chunks) + len(plan.pool_chunks)
+        report.pool_used = plan.use_pool
 
+        # Results are recorded in the store chunk-by-chunk as each one
+        # lands, so an interrupted run keeps its completed prefix for
+        # --resume.
         def consume(indices, computed) -> None:
             for i, result_dict in zip(indices, computed):
                 result_dicts[i] = result_dict
                 if store is not None:
                     store.put_dict(batch[i], result_dict)
 
-        pooled = [
-            i for i in pending if not get_backend(batch[i].backend).inline
-        ]
-        inline = [
-            i for i in pending if get_backend(batch[i].backend).inline
-        ]
-        # Inline points skip the serialize/deserialize round trip too —
-        # the result still flows through result_to_dict, so the stored
-        # and reported form is identical to the pooled path's.
-        consume(
-            inline,
-            (result_to_dict(batch[i], execute(batch[i])) for i in inline),
-        )
-        payloads = [batch[i].to_dict() for i in pooled]
-        if len(payloads) <= 1 or self.jobs == 1:
-            consume(pooled, map(_execute_payload, payloads))
+        # Inline chunks (analytic: the vectorized kernel) run
+        # in-process, whole sub-batch at once.  The results still flow
+        # through result_to_dict, so the stored and reported form is
+        # identical to the pooled path's.
+        for chunk in plan.inline_chunks:
+            backend = get_backend(chunk.backend)
+            chunk_scenarios = [batch[i] for i in chunk.indices]
+            for scenario in chunk_scenarios:
+                if not backend.supports(scenario):
+                    raise ValueError(
+                        f"backend {scenario.backend!r} does not support "
+                        f"{scenario!r}"
+                    )
+            consume(
+                chunk.indices,
+                (
+                    result_to_dict(scenario, result)
+                    for scenario, result in zip(
+                        chunk_scenarios,
+                        backend.run_batch(chunk_scenarios),
+                    )
+                ),
+            )
+
+        if plan.use_pool:
+            payloads = [
+                [batch[i].to_dict() for i in chunk.indices]
+                for chunk in plan.pool_chunks
+            ]
+            with multiprocessing.Pool(processes=plan.workers) as mp_pool:
+                for chunk, chunk_results in zip(
+                    plan.pool_chunks,
+                    mp_pool.imap(_execute_chunk, payloads, chunksize=1),
+                ):
+                    consume(chunk.indices, chunk_results)
         else:
-            workers = min(self.jobs, len(payloads))
-            with multiprocessing.Pool(processes=workers) as pool:
+            for chunk in plan.pool_chunks:
                 consume(
-                    pooled,
-                    pool.imap(_execute_payload, payloads, chunksize=1),
+                    chunk.indices,
+                    (
+                        result_to_dict(batch[i], execute(batch[i]))
+                        for i in chunk.indices
+                    ),
                 )
         report.executed = len(pending)
 
@@ -191,9 +247,13 @@ def run_scenarios(
     jobs: int = 1,
     store: Optional[ResultStore] = None,
     resume: bool = False,
+    chunk_size: Optional[int] = None,
+    pool: str = "auto",
 ) -> RunReport:
     """One-shot convenience wrapper around :class:`ParallelExecutor`."""
-    return ParallelExecutor(jobs=jobs).run(scenarios, store=store, resume=resume)
+    return ParallelExecutor(jobs=jobs, chunk_size=chunk_size, pool=pool).run(
+        scenarios, store=store, resume=resume
+    )
 
 
 def run_specs(

@@ -1,0 +1,152 @@
+"""Chunked execution planning: batches, not points, are the unit of work.
+
+The executor historically submitted one pool task per scenario, so every
+point paid its own fork/pickle/IPC round trip — measurable enough that
+``BENCH_runner.json`` once recorded the parallel path *losing* to serial
+on small grids.  The planner fixes the granularity:
+
+* **inline backends** (the analytic model: microseconds per point) are
+  collapsed into one chunk per backend and handed to
+  :meth:`~repro.backends.base.Backend.run_batch` in-process — the whole
+  chunk evaluates through the vectorized kernel in a few array ops;
+* **pooled backends** (the simulator: seconds per point) are split into
+  contiguous chunks sized so each worker gets a few chunks to balance
+  load while IPC amortizes over many points;
+* **tiny grids fall back to serial** ("auto" policy): when there are
+  fewer pooled points than two per worker — or only one usable CPU —
+  the pool's fork overhead cannot pay for itself, so the plan runs
+  everything in-process.
+
+A plan is pure data (no execution); the executor consumes it, which
+keeps the policy unit-testable without ever spawning a process.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Chunk", "ExecutionPlan", "plan_execution", "auto_chunk_size"]
+
+#: Valid pool policies: "auto" (serial fallback for tiny grids / single
+#: CPU), "always" (force the pool whenever workers > 1), "never".
+POOL_POLICIES = ("auto", "always", "never")
+
+#: Upper bound on points per pooled chunk: keeps streaming increments
+#: (store writes, progress) reasonably fine-grained even on huge grids.
+MAX_CHUNK_POINTS = 32
+
+#: Target number of chunks handed to each worker: > 1 so stragglers
+#: rebalance, small so IPC stays amortized.
+CHUNKS_PER_WORKER = 4
+
+
+def auto_chunk_size(n_points: int, workers: int) -> int:
+    """Points per pooled chunk when the caller does not pin one."""
+    if n_points <= 0:
+        return 1
+    target = -(-n_points // (max(1, workers) * CHUNKS_PER_WORKER))
+    return max(1, min(MAX_CHUNK_POINTS, target))
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """A contiguous run of batch indices sharing one backend."""
+
+    indices: Tuple[int, ...]
+    backend: str
+    inline: bool
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+@dataclass
+class ExecutionPlan:
+    """Everything the executor needs to run a batch's cold points."""
+
+    #: One chunk per inline backend (whole backend sub-batch at once).
+    inline_chunks: List[Chunk] = field(default_factory=list)
+    #: Pooled chunks in submission order.
+    pool_chunks: List[Chunk] = field(default_factory=list)
+    #: Worker processes the pooled portion should use.
+    workers: int = 1
+    #: Points per pooled chunk the plan was built with.
+    chunk_size: int = 1
+    #: True when the pooled chunks go to a multiprocessing pool; False
+    #: means the auto-serial fallback (or an explicit "never") applies.
+    use_pool: bool = False
+
+    @property
+    def pooled_points(self) -> int:
+        return sum(len(c) for c in self.pool_chunks)
+
+    @property
+    def inline_points(self) -> int:
+        return sum(len(c) for c in self.inline_chunks)
+
+
+def plan_execution(
+    batch: Sequence,
+    pending: Sequence[int],
+    jobs: int,
+    chunk_size: Optional[int] = None,
+    pool: str = "auto",
+    cpu_count: Optional[int] = None,
+) -> ExecutionPlan:
+    """Partition the pending indices of ``batch`` into execution chunks.
+
+    ``pool`` selects the fallback policy (see :data:`POOL_POLICIES`);
+    ``cpu_count`` is injectable for tests and defaults to the machine's.
+    """
+    from ..backends import get_backend
+
+    if pool not in POOL_POLICIES:
+        raise ValueError(
+            f"unknown pool policy {pool!r}; choose from {POOL_POLICIES}"
+        )
+    inline_by_backend: Dict[str, List[int]] = {}
+    pooled_by_backend: Dict[str, List[int]] = {}
+    n_pooled = 0
+    for i in pending:
+        backend = batch[i].backend
+        if get_backend(backend).inline:
+            inline_by_backend.setdefault(backend, []).append(i)
+        else:
+            pooled_by_backend.setdefault(backend, []).append(i)
+            n_pooled += 1
+
+    plan = ExecutionPlan()
+    for backend, indices in inline_by_backend.items():
+        plan.inline_chunks.append(
+            Chunk(indices=tuple(indices), backend=backend, inline=True)
+        )
+
+    cpus = (os.cpu_count() or 1) if cpu_count is None else cpu_count
+    # More workers than cores cannot help a CPU-bound simulation; more
+    # workers than points just forks idle processes.
+    plan.workers = max(1, min(jobs, cpus, n_pooled))
+    if pool == "always":
+        plan.workers = max(1, min(jobs, n_pooled))
+    elif pool == "auto" and n_pooled < 2 * plan.workers:
+        # Fewer than two points per worker: shrink the pool so chunk
+        # IPC still amortizes, rather than abandoning parallelism —
+        # a grid too small to feed even two workers runs serial.
+        plan.workers = max(1, n_pooled // 2)
+    plan.use_pool = plan.workers > 1 and pool != "never"
+    plan.chunk_size = (
+        auto_chunk_size(n_pooled, plan.workers)
+        if chunk_size is None
+        else max(1, int(chunk_size))
+    )
+    for backend, pooled in pooled_by_backend.items():
+        for start in range(0, len(pooled), plan.chunk_size):
+            plan.pool_chunks.append(
+                Chunk(
+                    indices=tuple(pooled[start:start + plan.chunk_size]),
+                    backend=backend,
+                    inline=False,
+                )
+            )
+    return plan

@@ -41,6 +41,7 @@ from typing import Any, Dict, Iterator, List, Mapping, Sequence, Tuple
 
 __all__ = [
     "SCHEMA",
+    "GRID_SCHEMA",
     "Scenario",
     "ScenarioGrid",
     "scenario_for",
@@ -54,6 +55,10 @@ __all__ = [
 #: semantics change.  v2 added the execution backend to the scenario
 #: identity.
 SCHEMA = "repro.runner/v2"
+
+#: Version tag of the serialized declarative grid form
+#: (:meth:`ScenarioGrid.to_dict`), baked into every campaign identity.
+GRID_SCHEMA = "repro.runner.grid/v1"
 
 #: The default execution backend (the full discrete-event simulator).
 DEFAULT_BACKEND = "sim"
@@ -267,6 +272,144 @@ class ScenarioGrid:
         for values in self.axes.values():
             n *= len(values)
         return n
+
+    # -- index addressing ----------------------------------------------------
+    # Expansion order is row-major (last axis fastest), so a grid point
+    # is addressed by one integer: its position in expand().  The
+    # campaign pipeline leans on this — a million-point campaign stores
+    # (index, result) rows instead of a content hash per point, and any
+    # point decodes back without expanding the grid.
+
+    def _strides(self) -> Dict[str, int]:
+        strides: Dict[str, int] = {}
+        stride = 1
+        for name in reversed(list(self.axes)):
+            strides[name] = stride
+            stride *= len(self.axes[name])
+        return strides
+
+    def assignment_at(self, index: int) -> Dict[str, Any]:
+        """The axis assignment of grid point ``index`` (mixed-radix
+        decode of the row-major position; O(axes), not O(grid))."""
+        if not 0 <= index < len(self):
+            raise IndexError(f"grid index {index} out of range")
+        strides = self._strides()
+        return {
+            name: values[(index // strides[name]) % len(values)]
+            for name, values in self.axes.items()
+        }
+
+    def scenario_at(self, index: int) -> "Scenario":
+        """Grid point ``index`` as a full :class:`Scenario`."""
+        spec_type = _spec_types()[self.kind]
+        spec = spec_type(**{**self.base, **self.assignment_at(index)})
+        return Scenario(kind=self.kind, spec=spec, backend=self.backend)
+
+    def axis_columns(self, indices) -> Dict[str, Any]:
+        """Axis values for many indices at once, as numpy columns.
+
+        The vectorized decode behind the campaign fast path: grid
+        indices go straight to per-axis value arrays (``np.take`` over
+        the axis value lists) without constructing a single spec object.
+        """
+        import numpy as np
+
+        indices = np.asarray(indices, dtype=np.int64)
+        if len(indices) and (
+            indices.min() < 0 or indices.max() >= len(self)
+        ):
+            raise IndexError("grid indices out of range")
+        strides = self._strides()
+        columns: Dict[str, Any] = {}
+        for name, values in self.axes.items():
+            digits = (indices // strides[name]) % len(values)
+            columns[name] = np.take(np.asarray(values), digits)
+        return columns
+
+    def validate(self) -> None:
+        """Fail fast on bad axis/base values: build one spec per axis
+        value (holding the other axes at their first value), so every
+        value passes through the spec dataclass's own ``__post_init__``
+        validation before a single point executes."""
+        spec_type = _spec_types()[self.kind]
+        first = {name: values[0] for name, values in self.axes.items()}
+        spec_type(**{**self.base, **first})
+        for name, values in self.axes.items():
+            for value in values[1:]:
+                spec_type(**{**self.base, **first, name: value})
+
+    def axis_codes(self, name: str, indices) -> Any:
+        """Positions into ``axes[name]`` for many indices at once — the
+        factorized form of :meth:`axis_columns` for categorical axes
+        (no value materialization, no string hashing)."""
+        import numpy as np
+
+        indices = np.asarray(indices, dtype=np.int64)
+        return (indices // self._strides()[name]) % len(self.axes[name])
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe declarative form (the campaign-header grid spec).
+
+        ``params``/``cvars`` dataclasses in ``base`` are expanded to
+        dicts; axis values must already be JSON scalars.
+        """
+        base: Dict[str, Any] = {}
+        for name, value in self.base.items():
+            if dataclasses.is_dataclass(value):
+                base[name] = dataclasses.asdict(value)
+            else:
+                base[name] = value
+        for name, values in self.axes.items():
+            for value in values:
+                if not isinstance(value, (str, int, float, bool)):
+                    raise TypeError(
+                        f"axis {name!r} value {value!r} is not a JSON "
+                        f"scalar; campaign grids need serializable axes"
+                    )
+        return {
+            "schema": GRID_SCHEMA,
+            "kind": self.kind,
+            "backend": self.backend,
+            "base": base,
+            "axes": {name: list(values) for name, values in self.axes.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioGrid":
+        """Inverse of :meth:`to_dict`."""
+        from ..mpi import Cvars
+        from ..net import SystemParams
+
+        if payload.get("schema") not in (None, GRID_SCHEMA):
+            raise ValueError(
+                f"unrecognized grid schema {payload.get('schema')!r}"
+            )
+        base = dict(payload.get("base", {}))
+        if "params" in base and isinstance(base["params"], Mapping):
+            base["params"] = SystemParams(**base["params"])
+        if "cvars" in base and isinstance(base["cvars"], Mapping):
+            base["cvars"] = Cvars(**base["cvars"])
+        return cls(
+            kind=payload["kind"],
+            base=base,
+            axes={
+                name: list(values)
+                for name, values in payload.get("axes", {}).items()
+            },
+            backend=payload.get("backend", DEFAULT_BACKEND),
+        )
+
+    def canonical_json(self) -> str:
+        """Canonical JSON of the declarative form (the hash input)."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    def content_hash(self) -> str:
+        """Stable SHA-256 identifying this grid (kind, base, axes,
+        backend) — the campaign identity every segment is tagged with."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
 
     def __repr__(self) -> str:  # pragma: no cover - debug repr
         dims = "x".join(str(len(v)) for v in self.axes.values()) or "1"

@@ -198,6 +198,55 @@ class ResultStore:
             return None
 
     # -- interop -------------------------------------------------------------
+    def iter_payloads(self) -> Iterator[Tuple[str, dict, dict]]:
+        """Yield ``(content_hash, scenario_dict, result_dict)`` over
+        every readable record, sorted by path — the raw serialized form,
+        without reconstructing native objects (the migration/export
+        feed).  Unreadable records are skipped, like :meth:`records`."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*/*/*.json")):
+            try:
+                payload = json.loads(path.read_text())
+                if payload.get("schema") != _STORE_SCHEMA:
+                    continue
+                scenario = Scenario.from_dict(payload["scenario"])
+            except Exception:
+                continue
+            yield scenario.content_hash(), payload["scenario"], payload[
+                "result"
+            ]
+
+    def export_jsonl(self, target) -> int:
+        """Dump every readable record as JSON-lines ``{"hash",
+        "scenario", "result"}`` to a path or file object; returns the
+        record count (the ``python -m repro store --export jsonl``
+        backend)."""
+        def _write(handle) -> int:
+            count = 0
+            for digest, scenario, result in self.iter_payloads():
+                handle.write(
+                    json.dumps(
+                        {
+                            "hash": digest,
+                            "scenario": scenario,
+                            "result": result,
+                        },
+                        sort_keys=True,
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                )
+                count += 1
+            return count
+
+        if hasattr(target, "write"):
+            return _write(target)
+        path = Path(target)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as handle:
+            return _write(handle)
+
     def pattern_sweep(self, backend: str = "sim"):
         """Stored app-pattern records of one ``backend`` as a
         :class:`~repro.apps.sweep.PatternSweep` (the ``BENCH_apps.json``

@@ -1,0 +1,325 @@
+"""Batch/scalar equivalence: the vectorized kernel vs the scalar model.
+
+The scalar predictors are the single source of truth; the numpy kernel
+(:mod:`repro.model.vector`) must be **bitwise identical** per point —
+not merely close.  These property-style sweeps cross every registered
+approach and pattern with sizes spanning all three wire protocols,
+thread/partition geometries, VCI configurations, and compute models,
+and assert exact float equality (``==``, no tolerance).
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.apps.base import PatternConfig
+from repro.bench.harness import BenchSpec
+from repro.mpi import Cvars
+from repro.model.approaches import (
+    APPROACH_PREDICTORS,
+    predict_bench_time,
+    predict_bench_times,
+)
+from repro.model.patterns import predict_pattern_time, predict_pattern_times
+from repro.model.vector import BENCH_COLUMN_FIELDS, bench_times_from_columns
+from repro.net import MELUXINA
+
+ALL_APPROACHES = sorted(APPROACH_PREDICTORS)
+
+#: Sizes straddling the short/bcopy/zcopy protocol thresholds plus the
+#: large-message regime where the zcopy queue-feedback branches fire.
+SIZES = [64, 1024, 2048, 8192, 16384, 262144, 1 << 20, 1 << 24]
+
+
+def bench_sweep_specs():
+    """The full cross-product equivalence fixture (~4k points)."""
+    specs = []
+    for approach, size, (nt, th), vcis, method in itertools.product(
+        ALL_APPROACHES,
+        SIZES,
+        [(1, 1), (2, 4), (4, 1), (32, 1)],
+        [1, 4],
+        ["comm", "tag_rr"],
+    ):
+        specs.append(
+            BenchSpec(
+                approach=approach,
+                total_bytes=size,
+                n_threads=nt,
+                theta=th,
+                iterations=1,
+                cvars=Cvars(num_vcis=vcis, vci_method=method),
+            )
+        )
+    return specs
+
+
+class TestBenchEquivalence:
+    def test_full_sweep_bitwise_equal(self):
+        specs = bench_sweep_specs()
+        scalar = np.array([predict_bench_time(s).time for s in specs])
+        vector = predict_bench_times(specs)
+        mismatch = np.nonzero(scalar != vector)[0]
+        assert mismatch.size == 0, (
+            f"{mismatch.size} of {len(specs)} points diverge; first: "
+            f"{specs[mismatch[0]]}"
+        )
+
+    @pytest.mark.parametrize("approach", ALL_APPROACHES)
+    def test_compute_models_per_approach(self, approach):
+        """Fixed-delay and Gaussian compute paths, per approach."""
+        specs = [
+            BenchSpec(
+                approach=approach,
+                total_bytes=size,
+                n_threads=4,
+                theta=2,
+                iterations=1,
+                gamma_us_per_mb=gamma,
+                gaussian_mu_us_per_mb=mu,
+            )
+            for size in SIZES
+            for gamma, mu in [(0.0, 0.0), (200.0, 0.0), (0.0, 150.0),
+                              (400.0, 150.0)]
+        ]
+        scalar = [predict_bench_time(s).time for s in specs]
+        vector = predict_bench_times(specs)
+        assert scalar == list(vector)
+
+    def test_mixed_params_grouping(self):
+        """Batches mixing machine models group correctly."""
+        fast = MELUXINA.with_updates(bandwidth=100e9)
+        specs = []
+        for params in (MELUXINA, fast):
+            for approach in ("pt2pt_part", "rma_many_active"):
+                specs.append(
+                    BenchSpec(
+                        approach=approach,
+                        total_bytes=1 << 20,
+                        n_threads=8,
+                        iterations=1,
+                        params=params,
+                    )
+                )
+        scalar = [predict_bench_time(s).time for s in specs]
+        assert scalar == list(predict_bench_times(specs))
+
+    def test_columns_api_matches_spec_api(self):
+        """The campaign fast path (bare columns, no spec objects)."""
+        specs = [
+            BenchSpec(
+                approach=approach,
+                total_bytes=size,
+                n_threads=nt,
+                theta=2,
+                iterations=1,
+                gamma_us_per_mb=gamma,
+            )
+            for approach in ALL_APPROACHES
+            for size in (2048, 1 << 20)
+            for nt in (1, 16)
+            for gamma in (0.0, 100.0)
+        ]
+        columns = {
+            name: np.array([getattr(s, name) for s in specs])
+            for name in BENCH_COLUMN_FIELDS
+            if name != "approach"
+        }
+        columns["approach"] = np.array(
+            [s.approach for s in specs], dtype=object
+        )
+        cvars = Cvars()
+        from_columns = bench_times_from_columns(
+            MELUXINA, cvars.num_vcis, cvars.vci_method,
+            cvars.part_aggr_size, columns, len(specs),
+        )
+        assert list(predict_bench_times(specs)) == list(from_columns)
+
+    def test_unknown_approach_rejected(self):
+        spec = BenchSpec(
+            approach="pt2pt_single", total_bytes=1024, iterations=1
+        )
+        with pytest.raises(KeyError):
+            bench_times_from_columns(
+                MELUXINA, 1, "comm", 0,
+                {"approach": "no_such_approach", "total_bytes": 1024}, 1,
+            )
+        assert predict_bench_times([spec]).shape == (1,)
+
+
+class TestPatternEquivalence:
+    @pytest.mark.parametrize("pattern", ["halo3d", "sweep3d", "fft"])
+    def test_all_approaches_bitwise_equal(self, pattern):
+        configs = [
+            PatternConfig(
+                pattern=pattern,
+                approach=approach,
+                n_ranks=ranks,
+                n_threads=nt,
+                msg_bytes=size,
+                iterations=1,
+                compute_us_per_mb=comp,
+                cvars=Cvars(num_vcis=vcis),
+            )
+            for approach in ALL_APPROACHES
+            for ranks in (4, 8)
+            for nt in (1, 4)
+            for size in (1024, 65536, 1 << 20)
+            for vcis in (1, 4)
+            for comp in (0.0, 200.0)
+        ]
+        scalar = [predict_pattern_time(c).time for c in configs]
+        batch = predict_pattern_times(configs)
+        assert scalar == list(batch.times)
+
+    def test_topology_metadata_matches_pattern(self):
+        from repro.apps.base import build_pattern
+
+        configs = [
+            PatternConfig(
+                pattern=pattern,
+                approach="pt2pt_part",
+                n_ranks=8,
+                n_threads=2,
+                msg_bytes=16384,
+                iterations=1,
+            )
+            for pattern in ("halo3d", "sweep3d", "fft")
+        ]
+        batch = predict_pattern_times(configs)
+        for j, config in enumerate(configs):
+            built = build_pattern(config)
+            assert batch.bytes_per_iteration[j] == built.bytes_per_iteration()
+            assert batch.n_links[j] == len(built.links())
+
+
+class TestRunBatchEquivalence:
+    """`Backend.run_batch` must be indistinguishable from per-point
+    `run` — asserted on the serialized result form, which is exactly
+    what stores and reports consume."""
+
+    def _assert_batch_equals_run(self, scenarios):
+        from repro.backends import get_backend
+        from repro.runner.scenario import result_to_dict
+
+        backend = get_backend("analytic")
+        batched = backend.run_batch(scenarios)
+        for scenario, batch_result in zip(scenarios, batched):
+            single = backend.run(scenario)
+            assert result_to_dict(scenario, batch_result) == result_to_dict(
+                scenario, single
+            )
+
+    def test_bench_all_approaches(self):
+        from repro.runner.scenario import scenario_for
+
+        self._assert_batch_equals_run([
+            scenario_for(
+                BenchSpec(
+                    approach=approach,
+                    total_bytes=size,
+                    n_threads=4,
+                    theta=2,
+                    iterations=3,
+                ),
+                backend="analytic",
+            )
+            for approach in ALL_APPROACHES
+            for size in (1024, 16384, 1 << 20)
+        ])
+
+    def test_large_batch_takes_vector_path(self):
+        """Above VECTOR_MIN_BATCH the kernel path runs — same bits."""
+        from repro.backends.analytic import AnalyticBackend
+        from repro.runner.scenario import scenario_for
+
+        scenarios = [
+            scenario_for(
+                BenchSpec(
+                    approach=approach,
+                    total_bytes=1024 * (j + 1),
+                    n_threads=2,
+                    iterations=1,
+                ),
+                backend="analytic",
+            )
+            for approach in ALL_APPROACHES
+            for j in range(10)
+        ]
+        assert len(scenarios) >= AnalyticBackend.VECTOR_MIN_BATCH
+        self._assert_batch_equals_run(scenarios)
+
+    def test_patterns_all_three(self):
+        from repro.runner.scenario import scenario_for
+
+        self._assert_batch_equals_run([
+            scenario_for(
+                PatternConfig(
+                    pattern=pattern,
+                    approach=approach,
+                    n_ranks=4,
+                    n_threads=2,
+                    msg_bytes=size,
+                    iterations=2,
+                ),
+                backend="analytic",
+            )
+            for pattern in ("halo3d", "sweep3d", "fft")
+            for approach in ("pt2pt_single", "pt2pt_part", "rma_many_active")
+            for size in (4096, 1 << 20)
+        ])
+
+    def test_mixed_kind_batch_preserves_order(self):
+        from repro.runner.scenario import scenario_for
+
+        scenarios = [
+            scenario_for(
+                BenchSpec(
+                    approach="pt2pt_part", total_bytes=65536, iterations=1
+                ),
+                backend="analytic",
+            ),
+            scenario_for(
+                PatternConfig(
+                    pattern="halo3d", n_ranks=4, n_threads=1,
+                    msg_bytes=4096, iterations=1,
+                ),
+                backend="analytic",
+            ),
+            scenario_for(
+                BenchSpec(
+                    approach="pt2pt_single", total_bytes=1024, iterations=1
+                ),
+                backend="analytic",
+            ),
+        ]
+        from repro.backends import get_backend
+
+        results = get_backend("analytic").run_batch(scenarios)
+        assert results[0].spec.approach == "pt2pt_part"
+        assert results[1].config.pattern == "halo3d"
+        assert results[2].spec.approach == "pt2pt_single"
+
+    def test_default_run_batch_is_run_loop(self):
+        """The base-class default (the simulator path) loops run()."""
+        from repro.backends import get_backend
+        from repro.runner.scenario import result_to_dict, scenario_for
+
+        scenarios = [
+            scenario_for(
+                BenchSpec(
+                    approach="pt2pt_single",
+                    total_bytes=size,
+                    iterations=1,
+                    n_threads=2,
+                ),
+            )
+            for size in (1024, 65536)
+        ]
+        backend = get_backend("sim")
+        batched = backend.run_batch(scenarios)
+        for scenario, result in zip(scenarios, batched):
+            assert result_to_dict(scenario, result) == result_to_dict(
+                scenario, backend.run(scenario)
+            )

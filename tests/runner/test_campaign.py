@@ -1,0 +1,351 @@
+"""Campaign store: grid addressing, segments, resume, compaction,
+migration, provenance — the schema-v2 streaming pipeline."""
+
+import json
+
+import pytest
+
+from repro.runner import (
+    CampaignStore,
+    ResultStore,
+    ScenarioGrid,
+    parse_grid_spec,
+    run_campaign,
+    run_scenarios,
+)
+from repro.runner.campaign import (
+    CAMPAIGN_SCHEMA,
+    SEGMENT_SCHEMA,
+)
+from repro.runner.scenario import execute
+
+
+def analytic_spec():
+    return {
+        "kind": "bench",
+        "backend": "analytic",
+        "base": {"n_threads": 2, "theta": 2, "iterations": 3},
+        "axes": {
+            "approach": ["pt2pt_single", "pt2pt_part", "rma_many_active"],
+            "total_bytes": {"pow2": [10, 17]},
+            "gamma_us_per_mb": [0.0, 200.0],
+        },
+    }
+
+
+class TestGridAddressing:
+    def test_to_dict_round_trip_preserves_hash(self):
+        grid = parse_grid_spec(analytic_spec())
+        clone = ScenarioGrid.from_dict(grid.to_dict())
+        assert clone.content_hash() == grid.content_hash()
+        assert len(clone) == len(grid)
+
+    def test_assignment_at_matches_expand_order(self):
+        grid = parse_grid_spec(analytic_spec())
+        for index, (assignment, scenario) in enumerate(grid.points()):
+            assert grid.assignment_at(index) == assignment
+            assert grid.scenario_at(index) == scenario
+
+    def test_axis_columns_decode(self):
+        import numpy as np
+
+        grid = parse_grid_spec(analytic_spec())
+        indices = np.array([0, 5, 17, len(grid) - 1])
+        columns = grid.axis_columns(indices)
+        for j, i in enumerate(indices):
+            assignment = grid.assignment_at(int(i))
+            for name, values in columns.items():
+                assert values[j] == assignment[name]
+
+    def test_out_of_range_rejected(self):
+        grid = parse_grid_spec(analytic_spec())
+        with pytest.raises(IndexError):
+            grid.assignment_at(len(grid))
+
+    def test_shorthand_axes(self):
+        grid = parse_grid_spec(
+            {
+                "kind": "bench",
+                "backend": "analytic",
+                "base": {"iterations": 1},
+                "axes": {
+                    "approach": {"values": ["pt2pt_single"]},
+                    "total_bytes": {"pow2": [10, 12]},
+                    "n_threads": {"range": [1, 8, 2]},
+                },
+            }
+        )
+        assert grid.axes["total_bytes"] == [1024, 2048, 4096]
+        assert grid.axes["n_threads"] == [1, 3, 5, 7]
+
+    def test_non_scalar_axis_rejected(self):
+        grid = ScenarioGrid(
+            "bench",
+            base={"iterations": 1},
+            axes={"approach": ["pt2pt_single"], "total_bytes": [(1,)]},
+        )
+        with pytest.raises(TypeError):
+            grid.to_dict()
+
+
+class TestCampaignLifecycle:
+    def test_run_resume_and_equivalence(self, tmp_path):
+        grid = parse_grid_spec(analytic_spec())
+        store = CampaignStore.create(tmp_path / "camp", grid)
+        first = run_campaign(store, chunk_points=7, limit=10)
+        assert first["executed"] == 10
+        assert store.missing_ranges() == [(10, len(grid))]
+        second = run_campaign(store, chunk_points=7)
+        assert second["executed"] == len(grid) - 10
+        assert store.n_completed == len(grid)
+        rows = dict(store.iter_rows())
+        assert len(rows) == len(grid)
+        # Campaign rows are bitwise-identical to per-point execution.
+        for index in (0, 9, 10, len(grid) - 1):
+            native = execute(store.scenario_at(index))
+            assert rows[index]["times"] == [float(t) for t in native.times]
+
+    def test_resume_from_segments_without_index(self, tmp_path):
+        grid = parse_grid_spec(analytic_spec())
+        store = CampaignStore.create(tmp_path / "camp", grid)
+        run_campaign(store, chunk_points=11)
+        (tmp_path / "camp" / "index.json").unlink()
+        reopened = CampaignStore.open(tmp_path / "camp")
+        assert reopened.n_completed == len(grid)
+        assert run_campaign(reopened)["executed"] == 0
+
+    def test_create_validates_grid_before_io(self, tmp_path):
+        bad = ScenarioGrid(
+            "bench",
+            base={"iterations": 1},
+            axes={"approach": ["pt2pt_single", "no_such_approach"],
+                  "total_bytes": [1024]},
+            backend="analytic",
+        )
+        with pytest.raises(KeyError):
+            CampaignStore.create(tmp_path / "camp", bad)
+        assert not (tmp_path / "camp").exists()
+        good = ScenarioGrid(
+            "bench",
+            base={"iterations": 1},
+            axes={"approach": ["pt2pt_single"], "total_bytes": [1024]},
+            backend="no_such_backend",
+        )
+        with pytest.raises(KeyError):
+            CampaignStore.create(tmp_path / "camp2", good)
+
+    def test_create_refuses_foreign_grid(self, tmp_path):
+        grid = parse_grid_spec(analytic_spec())
+        CampaignStore.create(tmp_path / "camp", grid)
+        other = parse_grid_spec(
+            {**analytic_spec(), "base": {"n_threads": 4, "iterations": 3}}
+        )
+        with pytest.raises(ValueError):
+            CampaignStore.create(tmp_path / "camp", other)
+
+    def test_compact_preserves_rows(self, tmp_path):
+        grid = parse_grid_spec(analytic_spec())
+        store = CampaignStore.create(tmp_path / "camp", grid)
+        run_campaign(store, chunk_points=5)
+        before = dict(store.iter_rows())
+        n_before = store.stats()["segments"]
+        summary = store.compact()
+        assert summary["segments_before"] == n_before
+        assert summary["segments_after"] < n_before
+        assert dict(store.iter_rows()) == before
+        assert store.n_completed == len(grid)
+
+    def test_export_and_query(self, tmp_path):
+        import io
+
+        grid = parse_grid_spec(analytic_spec())
+        store = CampaignStore.create(tmp_path / "camp", grid)
+        run_campaign(store)
+        buffer = io.StringIO()
+        count = store.export_jsonl(buffer)
+        lines = buffer.getvalue().splitlines()
+        assert count == len(grid) == len(lines)
+        record = json.loads(lines[0])
+        assert set(record) == {"index", "assignment", "result"}
+        matches = list(store.query(approach="pt2pt_part"))
+        assert len(matches) == len(grid) // 3
+        assert all(a["approach"] == "pt2pt_part" for _, a, _ in matches)
+        # base-field filters work too
+        assert len(list(store.query(n_threads=2))) == len(grid)
+        assert list(store.query(n_threads=64)) == []
+
+    def test_iterations_axis_reconstructs_times_length(self, tmp_path):
+        spec = {
+            "kind": "bench",
+            "backend": "analytic",
+            "base": {"n_threads": 1},
+            "axes": {
+                "approach": ["pt2pt_single"],
+                "total_bytes": [1024, 4096],
+                "iterations": [1, 4],
+            },
+        }
+        grid = parse_grid_spec(spec)
+        store = CampaignStore.create(tmp_path / "camp", grid)
+        run_campaign(store)
+        for index, result in store.iter_rows():
+            assert len(result["times"]) == grid.assignment_at(index)[
+                "iterations"
+            ]
+
+
+class TestProvenance:
+    def test_header_and_segments_tagged(self, tmp_path):
+        grid = parse_grid_spec(analytic_spec())
+        store = CampaignStore.create(tmp_path / "camp", grid)
+        run_campaign(store, chunk_points=50)
+        header = json.loads((tmp_path / "camp" / "campaign.json").read_text())
+        assert header["schema"] == CAMPAIGN_SCHEMA
+        assert header["producer"]["backend"] == "analytic"
+        assert header["grid_hash"] == grid.content_hash()
+        segments = sorted((tmp_path / "camp" / "segments").glob("*.jsonl"))
+        assert segments
+        for path in segments:
+            seg_header = json.loads(path.read_text().splitlines()[0])
+            assert seg_header["schema"] == SEGMENT_SCHEMA
+            assert seg_header["backend"] == "analytic"
+            assert seg_header["campaign"] == grid.content_hash()
+
+    def test_compact_writes_replacements_before_deleting(self, tmp_path):
+        """A crash mid-compact must never lose completed results: the
+        replacement segments land on disk before any old file goes."""
+        grid = parse_grid_spec(analytic_spec())
+        store = CampaignStore.create(tmp_path / "camp", grid)
+        run_campaign(store, chunk_points=5)
+        original = object.__getattribute__(store, "_write_index")
+
+        seen = {}
+
+        def spy(segments, loose, ignored=()):
+            # At index-switch time every new segment file must exist.
+            seen["files_present"] = all(
+                (store.root / e["file"]).is_file() for e in segments
+            )
+            return original(segments, loose, ignored)
+
+        store._write_index = spy
+        store.compact()
+        assert seen["files_present"]
+        assert store.n_completed == len(grid)
+
+    def test_index_converges_with_foreign_file_present(self, tmp_path):
+        grid = parse_grid_spec(analytic_spec())
+        store = CampaignStore.create(tmp_path / "camp", grid)
+        run_campaign(store, chunk_points=20)
+        stray = tmp_path / "camp" / "segments" / "seg-zzz.jsonl"
+        stray.write_text("not a segment\n")
+        reopened = CampaignStore.open(tmp_path / "camp")
+        assert reopened.n_completed == len(grid)
+        # One rebuild recorded the stray as ignored; subsequent reads
+        # must be served by the fresh index, not a rescan.
+        index_path = tmp_path / "camp" / "index.json"
+        payload = json.loads(index_path.read_text())
+        assert payload["ignored"] == ["segments/seg-zzz.jsonl"]
+        mtime = index_path.stat().st_mtime_ns
+        assert reopened.n_completed == len(grid)
+        list(reopened.iter_rows())
+        assert index_path.stat().st_mtime_ns == mtime
+
+    def test_export_with_where_filter(self, tmp_path):
+        import io
+
+        grid = parse_grid_spec(analytic_spec())
+        store = CampaignStore.create(tmp_path / "camp", grid)
+        run_campaign(store)
+        buffer = io.StringIO()
+        count = store.export_jsonl(
+            buffer, where={"approach": "pt2pt_part"}
+        )
+        assert count == len(grid) // 3
+        for line in buffer.getvalue().splitlines():
+            assert json.loads(line)["assignment"]["approach"] == "pt2pt_part"
+
+    def test_foreign_segment_ignored(self, tmp_path):
+        grid = parse_grid_spec(analytic_spec())
+        store = CampaignStore.create(tmp_path / "camp", grid)
+        run_campaign(store, limit=5, chunk_points=5)
+        alien = tmp_path / "camp" / "segments" / "seg-999999.jsonl"
+        alien.write_text(
+            json.dumps({"schema": SEGMENT_SCHEMA, "campaign": "deadbeef",
+                        "encoding": "bench-mean", "ranges": [[5, 10]],
+                        "count": 0, "backend": "analytic",
+                        "kind": "bench"}) + "\n"
+        )
+        reopened = CampaignStore.open(tmp_path / "camp")
+        # the alien segment's claimed coverage must not count
+        assert reopened.n_completed == 5
+
+
+class TestSimCampaignAndMigration:
+    def sim_grid(self):
+        return parse_grid_spec(
+            {
+                "kind": "bench",
+                "backend": "sim",
+                "base": {"n_threads": 2, "theta": 1, "iterations": 2},
+                "axes": {
+                    "approach": ["pt2pt_single", "pt2pt_part"],
+                    "total_bytes": [1024, 65536],
+                },
+            }
+        )
+
+    def test_sim_campaign_matches_runner(self, tmp_path):
+        grid = self.sim_grid()
+        store = CampaignStore.create(tmp_path / "camp", grid)
+        summary = run_campaign(store, chunk_points=3)
+        assert summary["executed"] == len(grid)
+        rows = dict(store.iter_rows())
+        report = run_scenarios(grid.expand(), jobs=1)
+        for index in range(len(grid)):
+            assert rows[index] == report.result_dicts[index]
+
+    def test_migration_is_idempotent(self, tmp_path):
+        grid = self.sim_grid()
+        v1 = ResultStore(tmp_path / "v1")
+        run_scenarios(grid.expand()[:2], jobs=1, store=v1)
+        store = CampaignStore.create(tmp_path / "camp", grid)
+        assert store.migrate_from_v1(v1) == 2
+        assert store.migrate_from_v1(v1) == 0  # re-run copies nothing
+        assert store.stats()["loose_rows"] == 2
+
+    def test_migration_and_read_through(self, tmp_path):
+        grid = self.sim_grid()
+        scenarios = grid.expand()
+        v1 = ResultStore(tmp_path / "v1")
+        run_scenarios(scenarios[:2], jobs=1, store=v1)
+        store = CampaignStore.create(tmp_path / "camp", grid)
+        assert store.migrate_from_v1(v1) == 2
+        summary = run_campaign(store, chunk_points=10)
+        assert summary["cached"] == 2
+        assert summary["executed"] == len(grid) - 2
+        assert store.n_completed == len(grid)
+
+    def test_fallback_store_read_through(self, tmp_path):
+        grid = self.sim_grid()
+        scenarios = grid.expand()
+        v1 = ResultStore(tmp_path / "v1")
+        run_scenarios(scenarios, jobs=1, store=v1)
+        store = CampaignStore.create(tmp_path / "camp", grid, fallback=v1)
+        summary = run_campaign(store)
+        assert summary["executed"] == 0
+        assert summary["cached"] == len(grid)
+        assert store.n_completed == len(grid)
+
+    def test_v1_export_jsonl(self, tmp_path):
+        grid = self.sim_grid()
+        v1 = ResultStore(tmp_path / "v1")
+        run_scenarios(grid.expand()[:2], jobs=1, store=v1)
+        target = tmp_path / "dump.jsonl"
+        assert v1.export_jsonl(target) == 2
+        records = [
+            json.loads(line) for line in target.read_text().splitlines()
+        ]
+        assert all(
+            set(r) == {"hash", "scenario", "result"} for r in records
+        )

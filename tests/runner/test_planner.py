@@ -1,0 +1,132 @@
+"""Planner: chunk partitioning, pool policies, auto-serial fallback."""
+
+import pytest
+
+from repro.bench import BenchSpec
+from repro.runner import (
+    ScenarioGrid,
+    plan_execution,
+    run_scenarios,
+    scenario_for,
+)
+from repro.runner.planner import MAX_CHUNK_POINTS, auto_chunk_size
+
+
+def bench_scenarios(n, backend="sim"):
+    return [
+        scenario_for(
+            BenchSpec(
+                approach="pt2pt_single",
+                total_bytes=1024 * (i + 1),
+                iterations=1,
+            ),
+            backend=backend,
+        )
+        for i in range(n)
+    ]
+
+
+class TestAutoChunkSize:
+    def test_small_grids_get_single_point_chunks(self):
+        assert auto_chunk_size(4, 4) == 1
+
+    def test_large_grids_cap_at_max(self):
+        assert auto_chunk_size(10_000_000, 4) == MAX_CHUNK_POINTS
+
+    def test_a_few_chunks_per_worker(self):
+        # 256 points over 4 workers -> 16 per chunk = 4 chunks/worker.
+        assert auto_chunk_size(256, 4) == 16
+
+
+class TestPlanning:
+    def test_inline_backend_is_one_chunk(self):
+        batch = bench_scenarios(10, backend="analytic")
+        plan = plan_execution(batch, range(10), jobs=4, cpu_count=8)
+        assert len(plan.inline_chunks) == 1
+        assert plan.inline_chunks[0].indices == tuple(range(10))
+        assert plan.pool_chunks == []
+        assert not plan.use_pool
+
+    def test_pooled_chunks_cover_pending_in_order(self):
+        batch = bench_scenarios(10)
+        plan = plan_execution(
+            batch, range(10), jobs=2, chunk_size=4, cpu_count=8
+        )
+        covered = [i for chunk in plan.pool_chunks for i in chunk.indices]
+        assert covered == list(range(10))
+        assert [len(c) for c in plan.pool_chunks] == [4, 4, 2]
+        assert plan.use_pool
+
+    def test_mixed_backends_split_into_inline_and_pooled(self):
+        batch = bench_scenarios(4) + bench_scenarios(4, backend="analytic")
+        plan = plan_execution(batch, range(8), jobs=2, cpu_count=8)
+        assert plan.inline_points == 4
+        assert plan.pooled_points == 4
+        assert all(c.backend == "analytic" for c in plan.inline_chunks)
+        assert all(c.backend == "sim" for c in plan.pool_chunks)
+
+    def test_tiny_grid_falls_back_to_serial(self):
+        batch = bench_scenarios(3)
+        plan = plan_execution(batch, range(3), jobs=4, cpu_count=8)
+        assert not plan.use_pool  # 3 points cannot feed two workers
+
+    def test_underfed_pool_shrinks_instead_of_abandoning(self):
+        # 13 points with 16 workers available: the auto policy keeps
+        # the pool but shrinks it so every worker gets >= 2 points.
+        batch = bench_scenarios(13)
+        plan = plan_execution(batch, range(13), jobs=16, cpu_count=16)
+        assert plan.use_pool
+        assert plan.workers == 6
+        # With a comfortable points-per-worker ratio, no shrink.
+        plan = plan_execution(batch, range(13), jobs=4, cpu_count=16)
+        assert plan.use_pool and plan.workers == 4
+
+    def test_single_cpu_falls_back_to_serial(self):
+        batch = bench_scenarios(64)
+        plan = plan_execution(batch, range(64), jobs=4, cpu_count=1)
+        assert plan.workers == 1
+        assert not plan.use_pool
+
+    def test_always_policy_forces_pool_regardless_of_cpus(self):
+        batch = bench_scenarios(4)
+        plan = plan_execution(
+            batch, range(4), jobs=2, pool="always", cpu_count=1
+        )
+        assert plan.use_pool and plan.workers == 2
+
+    def test_never_policy_disables_pool(self):
+        batch = bench_scenarios(64)
+        plan = plan_execution(
+            batch, range(64), jobs=4, pool="never", cpu_count=8
+        )
+        assert not plan.use_pool
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            plan_execution(bench_scenarios(2), range(2), jobs=1, pool="bogus")
+
+
+class TestChunkedExecution:
+    def grid(self):
+        return ScenarioGrid(
+            "bench",
+            base={"iterations": 2, "n_threads": 2, "theta": 1},
+            axes={
+                "approach": ["pt2pt_single", "pt2pt_part"],
+                "total_bytes": [1024, 65536],
+            },
+        ).expand()
+
+    def test_forced_pool_byte_identical_to_serial(self):
+        scenarios = self.grid()
+        serial = run_scenarios(scenarios, jobs=1)
+        pooled = run_scenarios(
+            scenarios, jobs=2, chunk_size=2, pool="always"
+        )
+        assert pooled.pool_used and not serial.pool_used
+        assert serial.canonical_json() == pooled.canonical_json()
+
+    def test_report_counts_chunks(self):
+        scenarios = self.grid()
+        report = run_scenarios(scenarios, jobs=1, chunk_size=3)
+        assert report.chunks == 2  # 4 points in chunks of 3
