@@ -45,10 +45,14 @@ Campaigns (streaming schema-v2 store; see README "Campaigns")::
 
     python -m repro campaign run grid.json --root camp/      # plan + execute
     python -m repro campaign run grid.json --root camp/ --limit 10000
+    python -m repro campaign run sim.json --root camp/ --jobs 8 --submit-ahead 16
+    python -m repro campaign run grid.json --root camp/ --compress  # .jsonl.gz
     python -m repro campaign status camp/                    # coverage
     python -m repro campaign export camp/ --out points.jsonl
     python -m repro campaign compact camp/                   # merge segments
+    python -m repro campaign compact camp/ --compress        # + gzip migration
     python -m repro campaign-bench                           # BENCH_campaign.json
+    python -m repro campaign-bench --kind pattern            # pattern fast path
 
 Store maintenance::
 
@@ -487,6 +491,13 @@ def _campaign_parser() -> argparse.ArgumentParser:
                      help="points per chunk (default: backend-sized)")
     run.add_argument("--limit", type=int, default=None, metavar="N",
                      help="max points to execute this invocation")
+    run.add_argument("--submit-ahead", type=int, default=None, metavar="N",
+                     help="simulation chunks kept in flight on the "
+                          "persistent pool (default: ~2x workers)")
+    run.add_argument("--compress", action="store_true",
+                     help="write gzip segments (.jsonl.gz; new "
+                          "campaigns only — resumed campaigns keep "
+                          "their header's compression)")
     run.add_argument("--fallback-store", default=None, metavar="DIR",
                      help="v1 result store consulted before simulating "
                           "(read-through)")
@@ -508,6 +519,10 @@ def _campaign_parser() -> argparse.ArgumentParser:
         "compact", help="merge segments into few sorted files"
     )
     compact.add_argument("root", metavar="DIR")
+    compact.add_argument("--compress", action="store_true",
+                         help="write the merged segments gzipped and "
+                              "make gzip the campaign default "
+                              "(in-place migration)")
     return parser
 
 
@@ -551,7 +566,10 @@ def _run_campaign_cli(args) -> int:
             ResultStore(args.fallback_store) if args.fallback_store else None
         )
         try:
-            store = CampaignStore.create(args.root, grid, fallback=fallback)
+            store = CampaignStore.create(
+                args.root, grid, fallback=fallback,
+                compression="gzip" if args.compress else "none",
+            )
         except (KeyError, TypeError, ValueError) as exc:
             message = exc.args[0] if exc.args else exc
             print(f"error: {message}", file=sys.stderr)
@@ -563,6 +581,7 @@ def _run_campaign_cli(args) -> int:
             jobs=args.jobs if args.jobs > 0 else default_jobs(),
             chunk_points=args.chunk,
             limit=args.limit,
+            submit_ahead=args.submit_ahead,
             progress=print,
         )
         pps = summary["points_per_s"]
@@ -610,9 +629,10 @@ def _run_campaign_cli(args) -> int:
         print(f"[exported {count} point(s)]", file=sys.stderr)
         return 0
     if args.action == "compact":
-        summary = store.compact()
+        summary = store.compact(compress=True if args.compress else None)
         print(f"compacted {summary['segments_before']} segment(s) into "
-              f"{summary['segments_after']} ({summary['points']} points)")
+              f"{summary['segments_after']} ({summary['points']} points)"
+              + (" [gzip]" if args.compress else ""))
         return 0
     return 2
 
@@ -620,14 +640,21 @@ def _run_campaign_cli(args) -> int:
 def _campaign_bench_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro campaign-bench",
-        description="Time the fixed >=100k-point analytic grid through "
+        description="Time a fixed >=10^5-point analytic grid through "
                     "the batched campaign pipeline vs per-point "
                     "execution and persist BENCH_campaign.json.",
     )
+    parser.add_argument("--kind", default="bench",
+                        choices=["bench", "pattern"],
+                        help="grid family: two-rank bench points "
+                             "(default) or N-rank application patterns "
+                             "(columns-first fast path; writes the "
+                             "pattern_campaign payload section)")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="persistence path (default BENCH_campaign.json)")
     parser.add_argument("--sizes", type=int, default=None, metavar="N",
                         help="size-axis length (default 320 -> 102400 "
+                             "bench points / 50 -> 115200 pattern "
                              "points; lower for a quick run)")
     parser.add_argument("--root", default=None, metavar="DIR",
                         help="keep the campaign store here (default: "
@@ -636,40 +663,51 @@ def _campaign_bench_parser() -> argparse.ArgumentParser:
 
 
 def _run_campaign_bench(args) -> int:
-    from .runner.campaign_bench import (
-        DEFAULT_JSON_PATH,
-        DEFAULT_N_SIZES,
-        benchmark_campaign,
-    )
+    from .runner.campaign_bench import DEFAULT_JSON_PATH, benchmark_campaign
 
     path = args.json if args.json else DEFAULT_JSON_PATH
     try:
         payload = benchmark_campaign(
             path=path,
-            n_sizes=args.sizes if args.sizes else DEFAULT_N_SIZES,
+            n_sizes=args.sizes,
             root=args.root,
+            kind=args.kind,
         )
     except RuntimeError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    section = payload if args.kind == "bench" else payload["pattern_campaign"]
     print(
-        f"{payload['n_points']} analytic points: "
-        f"batched {payload['batched']['wall_s']:.2f}s "
-        f"({payload['batched']['points_per_s']:,.0f} points/s, "
-        f"{payload['batched']['segments']} segments)"
+        f"{section['n_points']} analytic {args.kind} points: "
+        f"batched {section['batched']['wall_s']:.2f}s "
+        f"({section['batched']['points_per_s']:,.0f} points/s, "
+        f"{section['batched']['segments']} segments)"
     )
     print(
         f"per-point pipeline (run() + file per point): "
-        f"{payload['per_point_pipeline']['points_per_s']:,.0f} points/s "
-        f"(~{payload['per_point_pipeline']['projected_wall_s']:,.0f}s "
-        f"projected for the full grid); "
-        f"bare execute: "
-        f"{payload['per_point_execute_only']['points_per_s']:,.0f} points/s"
+        f"{section['per_point_pipeline']['points_per_s']:,.0f} points/s "
+        f"(~{section['per_point_pipeline']['projected_wall_s']:,.0f}s "
+        f"projected for the full grid)"
     )
-    print(
-        f"batched speedup: x{payload['speedup']:.1f} vs pipeline, "
-        f"x{payload['speedup_vs_execute_only']:.1f} vs bare execute"
-    )
+    if args.kind == "bench":
+        print(
+            f"bare execute: "
+            f"{section['per_point_execute_only']['points_per_s']:,.0f} "
+            f"points/s"
+        )
+        print(
+            f"batched speedup: x{section['speedup']:.1f} vs pipeline, "
+            f"x{section['speedup_vs_execute_only']:.1f} vs bare execute"
+        )
+    else:
+        print(
+            f"PR-4 config path (scenario_at per point): "
+            f"{section['config_path']['points_per_s']:,.0f} points/s"
+        )
+        print(
+            f"batched speedup: x{section['speedup']:.1f} vs pipeline, "
+            f"x{section['speedup_vs_config_path']:.1f} vs config path"
+        )
     print(f"[timings persisted to {path}]")
     return 0
 

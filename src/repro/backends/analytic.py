@@ -2,9 +2,17 @@
 
 Maps a scenario through the extended performance model
 (:func:`repro.model.approaches.predict_bench_time` /
-:func:`repro.model.patterns.predict_pattern_time`) and wraps the
+:func:`repro.model.patterns.predict_pattern_time`, including the
+injected-noise mean-shift correction for patterns) and wraps the
 prediction in the same native result object the simulator produces, so
 every consumer — sweeps, figures, stores, reports — works unchanged.
+
+Campaign chunks bypass even :meth:`AnalyticBackend.run_batch`: the
+columns-first entry points
+(:func:`repro.model.vector.bench_times_from_columns` /
+:func:`repro.model.vector.pattern_times_from_columns`) take decoded
+grid-axis columns directly, so no scenario or spec object exists on
+that path at all.
 
 The model is deterministic, so a point's ``iterations`` samples are all
 identical (zero variance, like a converged simulated run) and the whole
@@ -36,7 +44,11 @@ class AnalyticBackend(Backend):
             from ..model.approaches import APPROACH_PREDICTORS
 
             return scenario.spec.approach in APPROACH_PREDICTORS
-        return scenario.kind == KIND_PATTERN
+        if scenario.kind == KIND_PATTERN:
+            from ..apps.base import PATTERNS
+
+            return scenario.spec.pattern in PATTERNS
+        return False
 
     def run(self, scenario: Any) -> Any:
         from ..runner.scenario import KIND_BENCH, KIND_PATTERN

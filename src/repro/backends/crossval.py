@@ -29,6 +29,7 @@ from .base import BACKEND_ANALYTIC, BACKEND_SIM
 __all__ = [
     "TOLERANCES",
     "PATTERN_TOLERANCE",
+    "PATTERN_NOISE_TOLERANCE",
     "CrossPoint",
     "CrossValReport",
     "tolerance_for",
@@ -54,11 +55,23 @@ TOLERANCES: Dict[str, float] = {
 #: topology model; see the module docstring).
 PATTERN_TOLERANCE = 1.0
 
+#: Documented tolerance for patterns under injected noise
+#: (``noise != "none"``).  The first-order mean-shift correction in
+#: :mod:`repro.model.patterns` brings noisy points inside the same
+#: factor-two band as noise-free ones (worst observed ≈0.67 over a
+#: 3-pattern × 5-approach × 3-shape calibration sweep; without the
+#: correction, gaps reached ≈5.9) — so noisy points are now held to
+#: the same factor-two bound, as a separately-named constant so the
+#: two fidelity claims can drift apart if recalibration demands it.
+PATTERN_NOISE_TOLERANCE = 1.0
+
 
 def tolerance_for(scenario: Any) -> float:
     """The documented tolerance for one scenario."""
     if scenario.kind == "bench":
         return TOLERANCES[scenario.spec.approach]
+    if getattr(scenario.spec, "noise", "none") != "none":
+        return PATTERN_NOISE_TOLERANCE
     return PATTERN_TOLERANCE
 
 
@@ -212,7 +225,11 @@ def compare_pattern_sweeps(
                 approach=config.approach,
                 sim_mean=sim_r.stats.mean,
                 analytic_mean=ana_r.stats.mean,
-                tolerance=PATTERN_TOLERANCE,
+                tolerance=(
+                    PATTERN_NOISE_TOLERANCE
+                    if getattr(config, "noise", "none") != "none"
+                    else PATTERN_TOLERANCE
+                ),
             )
         )
     return report

@@ -23,8 +23,23 @@ composes per-link message predictions with the pattern's topology —
 This is deliberately coarser than the two-rank model (the simulator
 resolves per-link transients the closed form cannot), which is why the
 pattern tolerance in :data:`repro.backends.crossval.TOLERANCES` is wider
-than any bench tolerance.  Injected noise (``noise != "none"``) shifts
-the mean in a way the first-order model ignores.
+than any bench tolerance.
+
+**Injected noise** (``noise != "none"``) enters as a first-order mean
+shift calibrated against the simulator:
+
+* the expected slowest-thread delay per compute quantum
+  (:func:`noise_mean_quantum`: the Single victim's amplitude, the
+  Uniform mean, the truncated-Gaussian mean) accumulates to
+  ``max_out`` quanta per rank per iteration;
+* **streaming approaches** (partitioned, per-partition sends, the AM
+  fallback) absorb that budget like extra overlappable compute — the
+  staggered ready calls de-contend injection, down to a per-message
+  drain floor — and wavefront hops are gated per *link* (one quantum);
+* **bulk-gated approaches** (``pt2pt_single``, RMA epochs: nothing
+  completes before the noisy compute phase ends) see the §2.1 metric
+  remove the whole shift at depth 1, while every extra wavefront hop
+  accumulates one full un-removed rank budget.
 """
 
 from __future__ import annotations
@@ -45,9 +60,47 @@ from .approaches import (
 
 __all__ = [
     "PatternPrediction",
+    "STREAMING_APPROACHES",
+    "noise_mean_quantum",
     "predict_pattern_time",
     "predict_pattern_times",
 ]
+
+#: Approaches whose partitions leave as each ``ready`` lands, so
+#: injected noise staggers (and thereby overlaps) the injection instead
+#: of gating it: partitioned sends, one-send-per-thread, and the AM
+#: single-active-message fallback.  Everything else — the bulk-
+#: synchronous baseline and the RMA epochs, whose completion waits for
+#: the noisy compute phase end — is bulk-gated.
+STREAMING_APPROACHES = ("pt2pt_part", "pt2pt_many", "pt2pt_part_old")
+
+
+def noise_mean_quantum(
+    noise: str, noise_us: float, noise_sigma_us: float
+) -> float:
+    """Expected slowest-thread injected delay (seconds) per compute
+    quantum, per noise shape (:mod:`repro.apps.noise`).
+
+    Single puts its whole amplitude on one victim thread — which is
+    then the slowest — so the quantum is the amplitude itself; Uniform
+    draws from ``U(0, 2a)`` with mean ``a``; Gaussian draws from
+    ``N(a, σ)`` truncated at zero, whose mean is
+    ``a·Φ(a/σ) + σ·φ(a/σ)``.
+    """
+    amplitude = noise_us * 1e-6
+    sigma = noise_sigma_us * 1e-6
+    if noise == "none" or (amplitude <= 0 and sigma <= 0):
+        return 0.0
+    if noise in ("single", "uniform"):
+        return amplitude
+    if noise == "gaussian":
+        if sigma == 0:
+            return amplitude
+        z = amplitude / sigma
+        phi = math.exp(-0.5 * z * z) / math.sqrt(2.0 * math.pi)
+        cdf = 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+        return amplitude * cdf + sigma * phi
+    raise KeyError(f"unknown noise model {noise!r}")
 
 
 @dataclass(frozen=True)
@@ -209,6 +262,15 @@ def predict_pattern_time(config, pattern=None) -> PatternPrediction:
     mu = config.compute_us_per_mb * 1e-6 / 1e6
     compute = max_out * mu * (nbytes / config.n_threads)
 
+    # Injected-noise budget: the slowest thread's expected extra delay
+    # over its max_out quanta (see the module docstring).
+    noise_q = noise_mean_quantum(
+        getattr(config, "noise", "none"),
+        getattr(config, "noise_us", 0.0),
+        getattr(config, "noise_sigma_us", 0.0),
+    )
+    noise_rank = max_out * noise_q
+
     post_work = max_out * n_msgs * msg.post / lanes
     if zcopy:
         # Incoming rendezvous traffic posts its CTS answers on the same
@@ -222,24 +284,46 @@ def predict_pattern_time(config, pattern=None) -> PatternPrediction:
     bottleneck = max(post_work, wire_work, rx_work)
     if config.approach == "pt2pt_single":
         # Bulk semantics: the master starts and *blocks on* each link's
-        # send in turn after the compute phase — nothing overlaps.
+        # send in turn after the compute phase — nothing overlaps, and
+        # the metric's removal cancels the noisy phase at depth 1.  An
+        # extra wavefront hop re-pays the full un-removed rank budget.
         hop = max_out * msg.path + sync_tail
+        hop_noise = noise_rank
+    elif config.approach in STREAMING_APPROACHES:
+        # The compute phase *and the staggered noise* hide the
+        # bottleneck work, down to the stagger-limited drain floor
+        # (one message's share once the readies spread out, but never
+        # more than the noise budget below the lockstep floor).
+        # Downstream hops are gated per link: only the last quantum
+        # before that link's ready survives the overlap.
+        floor = max(
+            bottleneck / rank_msgs, bottleneck / max_out - noise_rank
+        )
+        hop = (
+            max(bottleneck - (compute + noise_rank), floor)
+            + msg.path
+            + sync_tail
+        )
+        hop_noise = noise_q
     else:
-        # The compute phase hides the bottleneck work up to the last
-        # link's share, which must still drain after the final ready.
+        # RMA: the puts stream, but the epoch close (and thereby the
+        # receiver's wait) is gated by the noisy phase end — absorbed
+        # at depth 1 by the removal, re-paid per extra hop.
         hop = (
             max(bottleneck - compute, bottleneck / max_out)
             + msg.path
             + sync_tail
         )
+        hop_noise = noise_rank
     hop += p.barrier_time(config.n_threads)
 
     depth = _dependency_depth(pattern, config.n_ranks)
     if depth > 1:
         # Wavefront: each hop's blocking receive gates the next rank's
-        # compute phase, whose useful work is *not* removed for the
-        # downstream ranks (only one thread's compute is subtracted).
-        time = hop + (depth - 1) * (hop + compute)
+        # compute phase, whose useful work and injected noise are *not*
+        # removed for the downstream ranks (only one thread's total is
+        # subtracted by the metric).
+        time = hop + (depth - 1) * (hop + compute + hop_noise)
     else:
         time = hop
     return PatternPrediction(
@@ -249,6 +333,7 @@ def predict_pattern_time(config, pattern=None) -> PatternPrediction:
             "wire_work": wire_work,
             "rx_work": rx_work,
             "compute_overlap": compute,
+            "noise_shift": noise_rank,
             "sync_tail": sync_tail,
             "depth": float(max(depth, 1)),
         },

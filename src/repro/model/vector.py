@@ -54,8 +54,10 @@ __all__ = [
     "bench_batch_times",
     "bench_times_from_columns",
     "pattern_batch",
+    "pattern_times_from_columns",
     "PatternBatch",
     "BENCH_COLUMN_FIELDS",
+    "PATTERN_COLUMN_FIELDS",
 ]
 
 #: BenchSpec fields the column-based bench kernel consumes (everything
@@ -67,6 +69,21 @@ BENCH_COLUMN_FIELDS = (
     "theta",
     "gamma_us_per_mb",
     "gaussian_mu_us_per_mb",
+)
+
+#: PatternConfig fields the column-based pattern kernel consumes.  The
+#: first four shape the link topology (summarized once per unique
+#: geometry); the rest enter the per-point arithmetic directly.
+PATTERN_COLUMN_FIELDS = (
+    "pattern",
+    "n_ranks",
+    "n_threads",
+    "msg_bytes",
+    "approach",
+    "compute_us_per_mb",
+    "noise",
+    "noise_us",
+    "noise_sigma_us",
 )
 
 
@@ -504,11 +521,13 @@ def _delay_columns(total_bytes, n_threads, theta, gamma, gaussian_mu):
 
 
 def _approach_codes(approach) -> Tuple[List[str], np.ndarray]:
-    """Normalize an approach column to ``(names, codes)``.
+    """Normalize a categorical column to ``(names, codes)``.
 
     Accepts a ready-made ``(names, codes)`` pair (the campaign fast
     path derives codes straight from the grid's axis digits — no string
     hashing over the batch), or any array of names (factorized here).
+    Shared by every categorical pattern/bench column (approach,
+    pattern, noise).
     """
     if isinstance(approach, tuple):
         names, codes = approach
@@ -650,22 +669,38 @@ class PatternBatch:
 
 
 #: Topology summaries keyed by the config fields that shape the link
-#: graph.  A summary is everything the predictor needs from the graph:
+#: graph: ``(pattern, n_ranks, n_threads, msg_bytes)``.  A summary is
+#: everything the predictor needs from the graph:
 #: (nbytes, max_out, max_in, max links per ordered pair, depth,
 #: bytes_per_iteration, n_links).
 _TOPOLOGY_CACHE: Dict[Tuple, Tuple] = {}
 
 
-def _topology_summary(config) -> Tuple:
-    key = (config.pattern, config.n_ranks, config.n_threads,
-           config.msg_bytes)
+def _topology_summary_key(
+    pattern_name: str, n_ranks: int, n_threads: int, msg_bytes: int
+) -> Tuple:
+    """The topology summary for one unique geometry key.
+
+    Builds the link graph at most once per key (process-lifetime
+    cache): the columns-first campaign path never constructs a config
+    object, so the graph is reached through a throwaway
+    ``PatternConfig`` carrying only the geometry fields.
+    """
+    key = (pattern_name, n_ranks, n_threads, msg_bytes)
     hit = _TOPOLOGY_CACHE.get(key)
     if hit is not None:
         return hit
-    from ..apps.base import build_pattern
+    from ..apps.base import PatternConfig, build_pattern
     from .patterns import _dependency_depth
 
-    pattern = build_pattern(config)
+    pattern = build_pattern(
+        PatternConfig(
+            pattern=pattern_name,
+            n_ranks=n_ranks,
+            n_threads=n_threads,
+            msg_bytes=msg_bytes,
+        )
+    )
     links = pattern.links()
     if not links:
         summary = (0, 0, 0, 0, 0, 0, 0)
@@ -683,12 +718,20 @@ def _topology_summary(config) -> Tuple:
             max(out_deg.values()),
             max(in_deg.values()),
             max(pair_links.values()),
-            _dependency_depth(pattern, config.n_ranks),
-            pattern.bytes_per_iteration(),
+            _dependency_depth(pattern, n_ranks),
+            # bytes_per_iteration, from the links already in hand (the
+            # method would enumerate the O(ranks²) graph a second time).
+            sum(link.nbytes for link in links),
             len(links),
         )
     _TOPOLOGY_CACHE[key] = summary
     return summary
+
+
+def _topology_summary(config) -> Tuple:
+    return _topology_summary_key(
+        config.pattern, config.n_ranks, config.n_threads, config.msg_bytes
+    )
 
 
 def _pattern_link_messages(approach: str, nbytes, n_threads, aggr):
@@ -743,34 +786,41 @@ def _pattern_per_message_vec(p, approach: str, msg_bytes, mult):
     return msg, per_link
 
 
-def _pattern_group_times(p, approach: str, configs) -> np.ndarray:
+@dataclass
+class _PatternCols:
+    """Array twin of the scalar pattern predictor's inputs for one
+    (approach, params) group — topology summaries already gathered to
+    per-point columns, plus the per-point spec columns."""
+
+    nbytes: np.ndarray
+    max_out: np.ndarray
+    max_in: np.ndarray
+    max_pair_links: np.ndarray
+    depth: np.ndarray
+    n_links: np.ndarray
+    n_threads: np.ndarray
+    num_vcis: np.ndarray
+    aggr: np.ndarray
+    compute_rate: np.ndarray
+    #: Expected slowest-thread injected delay per quantum (seconds) —
+    #: ``patterns.noise_mean_quantum`` over the noise columns.
+    noise_q: np.ndarray
+
+
+def _pattern_times_cols(p, approach: str, cols: _PatternCols) -> np.ndarray:
     """Vector twin of ``patterns.predict_pattern_time`` for one
-    (approach, params) group."""
-    n = len(configs)
-    topo = [_topology_summary(c) for c in configs]
-    nbytes = np.array([t[0] for t in topo], dtype=np.int64)
-    max_out = np.array([t[1] for t in topo], dtype=np.int64)
-    max_in = np.array([t[2] for t in topo], dtype=np.int64)
-    max_pair_links = np.array([t[3] for t in topo], dtype=np.int64)
-    depth = np.array([t[4] for t in topo], dtype=np.int64)
-    n_links = np.array([t[6] for t in topo], dtype=np.int64)
-    n_threads = np.array([c.n_threads for c in configs], dtype=np.int64)
-    num_vcis = np.array(
-        [c.cvars.num_vcis for c in configs], dtype=np.int64
-    )
-    aggr = np.array(
-        [c.cvars.part_aggr_size for c in configs], dtype=np.int64
-    )
-    compute_rate = np.array(
-        [c.compute_us_per_mb for c in configs], dtype=np.float64
-    )
+    (approach, params) group over bare columns."""
+    n_threads = cols.n_threads
+    nbytes = cols.nbytes
+    max_out = cols.max_out
+    max_in = cols.max_in
 
     n_msgs, msg_bytes = _pattern_link_messages(
-        approach, nbytes, n_threads, aggr
+        approach, nbytes, n_threads, cols.aggr
     )
-    max_pair = max_pair_links * n_msgs
+    max_pair = cols.max_pair_links * n_msgs
 
-    lanes = np.maximum(1, np.minimum(n_threads, num_vcis))
+    lanes = np.maximum(1, np.minimum(n_threads, cols.num_vcis))
     per_vci = _ceil_div(n_threads, lanes)
     contenders = (per_vci - 1).astype(np.float64)
     rank_msgs = max_out * n_msgs
@@ -780,7 +830,7 @@ def _pattern_group_times(p, approach: str, configs) -> np.ndarray:
     zcopy = (
         (msg_bytes > p.eager_max)
         if zcopy_approach
-        else np.zeros(n, dtype=bool)
+        else np.zeros(len(nbytes), dtype=bool)
     )
     queue = zcopy & (lanes == 1) & (rank_msgs > 1)
     contenders = np.where(
@@ -797,8 +847,9 @@ def _pattern_group_times(p, approach: str, configs) -> np.ndarray:
     msg, per_link_sync = _pattern_per_message_vec(p, approach, msg_bytes, mult)
     sync_tail = max_out * per_link_sync
 
-    mu = compute_rate * 1e-6 / 1e6
+    mu = cols.compute_rate * 1e-6 / 1e6
     compute = max_out * mu * (nbytes / n_threads)
+    noise_rank = max_out * cols.noise_q
 
     post_work = max_out * n_msgs * msg.post / lanes
     post_work = post_work + np.where(
@@ -809,17 +860,92 @@ def _pattern_group_times(p, approach: str, configs) -> np.ndarray:
     )
     rx_work = max_in * n_msgs * msg.rx / lanes
     bottleneck = _chain_max(post_work, wire_work, rx_work)
+    from .patterns import STREAMING_APPROACHES
+
     if approach == "pt2pt_single":
         hop = max_out * msg.path + sync_tail
+        hop_noise = noise_rank
+    elif approach in STREAMING_APPROACHES:
+        floor = np.maximum(
+            bottleneck / rank_msgs, bottleneck / max_out - noise_rank
+        )
+        hop = (
+            np.maximum(bottleneck - (compute + noise_rank), floor)
+            + msg.path
+            + sync_tail
+        )
+        hop_noise = cols.noise_q
     else:
         hop = (
             np.maximum(bottleneck - compute, bottleneck / max_out)
             + msg.path
             + sync_tail
         )
+        hop_noise = noise_rank
     hop = hop + _barrier_vec(p, n_threads)
-    times = np.where(depth > 1, hop + (depth - 1) * (hop + compute), hop)
-    return np.where(n_links == 0, 0.0, times)
+    times = np.where(
+        cols.depth > 1,
+        hop + (cols.depth - 1) * (hop + compute + hop_noise),
+        hop,
+    )
+    return np.where(cols.n_links == 0, 0.0, times)
+
+
+def _noise_quantum_column(noise, noise_us, noise_sigma_us) -> np.ndarray:
+    """``patterns.noise_mean_quantum`` over columns, evaluated once per
+    unique (noise, amplitude, sigma) triple through the *scalar*
+    function — so the vector path is bitwise-equal by construction.
+
+    ``noise`` is either a ``(names, codes)`` pair (the campaign fast
+    path) or an array of shape names.
+    """
+    from .patterns import noise_mean_quantum
+
+    names, codes = _approach_codes(noise)
+    noise_us = np.asarray(noise_us, dtype=np.float64)
+    noise_sigma_us = np.asarray(noise_sigma_us, dtype=np.float64)
+    stacked = np.stack(
+        [codes.astype(np.float64), noise_us, noise_sigma_us]
+    )
+    uniq, inverse = np.unique(stacked, axis=1, return_inverse=True)
+    values = np.array(
+        [
+            noise_mean_quantum(names[int(code)], float(us), float(sigma))
+            for code, us, sigma in uniq.T
+        ],
+        dtype=np.float64,
+    )
+    return values[np.asarray(inverse).reshape(-1)]
+
+
+def _pattern_group_times(p, approach: str, configs) -> np.ndarray:
+    """Vector twin of ``patterns.predict_pattern_time`` for one
+    (approach, params) group of config objects."""
+    topo = [_topology_summary(c) for c in configs]
+    cols = _PatternCols(
+        nbytes=np.array([t[0] for t in topo], dtype=np.int64),
+        max_out=np.array([t[1] for t in topo], dtype=np.int64),
+        max_in=np.array([t[2] for t in topo], dtype=np.int64),
+        max_pair_links=np.array([t[3] for t in topo], dtype=np.int64),
+        depth=np.array([t[4] for t in topo], dtype=np.int64),
+        n_links=np.array([t[6] for t in topo], dtype=np.int64),
+        n_threads=np.array([c.n_threads for c in configs], dtype=np.int64),
+        num_vcis=np.array(
+            [c.cvars.num_vcis for c in configs], dtype=np.int64
+        ),
+        aggr=np.array(
+            [c.cvars.part_aggr_size for c in configs], dtype=np.int64
+        ),
+        compute_rate=np.array(
+            [c.compute_us_per_mb for c in configs], dtype=np.float64
+        ),
+        noise_q=_noise_quantum_column(
+            np.array([c.noise for c in configs], dtype=object),
+            [c.noise_us for c in configs],
+            [c.noise_sigma_us for c in configs],
+        ),
+    )
+    return _pattern_times_cols(p, approach, cols)
 
 
 def pattern_batch(configs: Sequence[Any]) -> PatternBatch:
@@ -844,4 +970,105 @@ def pattern_batch(configs: Sequence[Any]) -> PatternBatch:
         times=times,
         bytes_per_iteration=np.array([t[5] for t in topo], dtype=np.int64),
         n_links=np.array([t[6] for t in topo], dtype=np.int64),
+    )
+
+
+def pattern_times_from_columns(
+    params: SystemParams,
+    num_vcis: int,
+    part_aggr_size: int,
+    columns: Mapping[str, Any],
+    n_points: int,
+) -> PatternBatch:
+    """Vectorized pattern predictions for ``n_points`` given bare columns.
+
+    The pattern twin of :func:`bench_times_from_columns` — the campaign
+    fast path never constructs a ``PatternConfig``.  ``columns`` maps
+    :data:`PATTERN_COLUMN_FIELDS` to per-point arrays (or scalars,
+    broadcast); absent fields take the ``PatternConfig`` defaults.  The
+    categorical columns (``pattern``, ``approach``, ``noise``) may be
+    ``(names, codes)`` pairs factorized straight from the grid digits
+    (see :meth:`~repro.runner.scenario.ScenarioGrid.kernel_columns`), a
+    bare name, or arrays of names.  ``params`` and the cvar knobs are
+    batch constants, as in the bench twin.
+
+    Topology link graphs are built once per unique
+    ``(pattern, n_ranks, n_threads, msg_bytes)`` geometry
+    (process-lifetime cache) and gathered to per-point columns; every
+    per-point value is bitwise-equal to the scalar
+    ``predict_pattern_time`` path.
+    """
+    def col(name, dtype, default):
+        value = columns.get(name, default)
+        if np.isscalar(value):
+            return np.full(n_points, value, dtype=dtype)
+        return np.asarray(value, dtype=dtype)
+
+    def categorical(name, default):
+        value = columns.get(name, default)
+        if isinstance(value, str):
+            return [value], np.zeros(n_points, dtype=np.int64)
+        return _approach_codes(value)
+
+    if "pattern" not in columns:
+        raise KeyError("pattern column is required")
+    pattern_names, pattern_codes = categorical("pattern", None)
+    approach_names, approach_codes = categorical("approach", "pt2pt_part")
+    n_ranks = col("n_ranks", np.int64, 8)
+    n_threads = col("n_threads", np.int64, 4)
+    msg_bytes = col("msg_bytes", np.int64, 256 << 10)
+
+    # One link-graph build per unique geometry; gather to columns.
+    geometry = np.stack(
+        [pattern_codes, n_ranks, n_threads, msg_bytes]
+    )
+    uniq, inverse = np.unique(geometry, axis=1, return_inverse=True)
+    summaries = [
+        _topology_summary_key(
+            pattern_names[int(code)], int(ranks), int(threads), int(size)
+        )
+        for code, ranks, threads, size in uniq.T
+    ]
+    gathered = np.asarray(summaries, dtype=np.int64)[
+        np.asarray(inverse).reshape(-1)
+    ]
+
+    cols = _PatternCols(
+        nbytes=gathered[:, 0],
+        max_out=gathered[:, 1],
+        max_in=gathered[:, 2],
+        max_pair_links=gathered[:, 3],
+        depth=gathered[:, 4],
+        n_links=gathered[:, 6],
+        n_threads=n_threads,
+        num_vcis=np.full(n_points, num_vcis, dtype=np.int64),
+        aggr=np.full(n_points, part_aggr_size, dtype=np.int64),
+        compute_rate=col("compute_us_per_mb", np.float64, 0.0),
+        noise_q=_noise_quantum_column(
+            categorical("noise", "none"),
+            col("noise_us", np.float64, 0.0),
+            col("noise_sigma_us", np.float64, 0.0),
+        ),
+    )
+    times = np.empty(n_points, dtype=np.float64)
+    for code, name in enumerate(approach_names):
+        idx = np.nonzero(approach_codes == code)[0]
+        if not idx.size:
+            continue
+        if name not in APPROACH_PREDICTORS:
+            # Same contract as the bench twin: an unknown name must
+            # fail loudly, not fall into the bulk-gated default branch
+            # with a plausible wrong number.
+            raise KeyError(f"no analytic predictor for approach {name!r}")
+        sub = _PatternCols(
+            **{
+                field: getattr(cols, field)[idx]
+                for field in cols.__dataclass_fields__
+            }
+        )
+        times[idx] = _pattern_times_cols(params, name, sub)
+    return PatternBatch(
+        times=times,
+        bytes_per_iteration=gathered[:, 5],
+        n_links=gathered[:, 6],
     )

@@ -24,9 +24,11 @@ __all__ = ["DEFAULT_JSON_PATH", "fixed_quick_grid", "benchmark_runner"]
 #: Default persistence target (picked up by the perf trajectory).
 DEFAULT_JSON_PATH = "BENCH_runner.json"
 
-#: v2: chunked submission + pool policy fields (``pool_used``,
-#: ``cpu_count`` caveat note).
-_SCHEMA = "repro.runner.bench/v2"
+#: v3: the ``note`` always names the core count the measurement ran on
+#: (CI regenerates this payload on a multi-core runner, so a committed
+#: single-core number is distinguishable at a glance; v2 added chunked
+#: submission + pool policy fields ``pool_used``/``cpu_count``).
+_SCHEMA = "repro.runner.bench/v3"
 
 
 def fixed_quick_grid(backend: str = "sim") -> List[Scenario]:
@@ -114,7 +116,8 @@ def benchmark_runner(
     if parallel["pool_used"]:
         note = (
             f"jobs={n_jobs} used the process pool with chunked "
-            f"submission ({parallel['chunks']} chunk(s))"
+            f"submission ({parallel['chunks']} chunk(s)) on "
+            f"{default_jobs()} core(s)"
         )
     else:
         note = (

@@ -25,19 +25,22 @@ campaign store exploits that a grid point is fully identified by
   a read-through cache for simulation-backed campaign chunks.
 
 :func:`run_campaign` executes the missing ranges chunk-by-chunk: the
-analytic fast path decodes grid indices straight into parameter columns
-for the vectorized model kernel (no spec objects, no content hashes —
-microseconds per point end-to-end), while simulation chunks go through
-the chunked :class:`~repro.runner.executor.ParallelExecutor`.  Each
-completed chunk is appended before the next starts, so an interrupted
-campaign resumes from its segments.
+analytic fast paths (bench *and* pattern) decode grid indices straight
+into parameter columns for the vectorized model kernel (no spec
+objects, no content hashes — microseconds per point end-to-end), while
+simulation chunks flow through a bounded submit-ahead pipeline
+(:func:`~repro.runner.executor.iter_chunk_results`): the next chunks
+are already executing on a persistent worker pool while earlier
+results stream to the store in submission order.  Each completed chunk
+is appended before the next result is consumed, so an interrupted
+campaign resumes from its segments; segments may be gzip-compressed
+(``compression`` header field; ``compact(compress=True)`` migrates in
+place) and plain/gzip segments read interchangeably.
 """
 
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 import time
 from pathlib import Path
 from typing import (
@@ -51,6 +54,7 @@ from typing import (
     Tuple,
 )
 
+from .io import atomic_write_text, open_segment_text, write_jsonl
 from .scenario import (
     GRID_SCHEMA,
     KIND_BENCH,
@@ -86,12 +90,21 @@ ENC_BENCH_COLS = "bench-cols"
 ENC_PATTERN_COLS = "pattern-cols"
 ENC_HASHED = "hashed-result"
 
-#: Points per campaign chunk when the caller does not pin one.
+#: Points per inline (analytic) campaign chunk when the caller does
+#: not pin one; simulation chunks are sized by the planner's
+#: :func:`~repro.runner.planner.auto_chunk_size` instead (a few chunks
+#: per worker, capped at 32).
 DEFAULT_INLINE_CHUNK = 16384
-DEFAULT_SIM_CHUNK = 32
 
 #: Target points per segment after compaction.
 COMPACT_SEGMENT_POINTS = 8192
+
+#: Segment compression modes (the campaign-header ``compression``
+#: field selects the default for *new* segments; readers handle both
+#: transparently, so mixed stores are fine).
+COMPRESSION_NONE = "none"
+COMPRESSION_GZIP = "gzip"
+COMPRESSIONS = (COMPRESSION_NONE, COMPRESSION_GZIP)
 
 
 # ---------------------------------------------------------------------------
@@ -165,20 +178,6 @@ def _indices_to_ranges(indices: Sequence[int]) -> List[Tuple[int, int]]:
     return runs
 
 
-def _atomic_write(target: Path, text: str) -> None:
-    target.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(
-        prefix=target.stem + ".", suffix=".tmp", dir=target.parent
-    )
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(text)
-        os.replace(tmp, target)
-    except BaseException:
-        os.unlink(tmp)
-        raise
-
-
 # ---------------------------------------------------------------------------
 # the store
 # ---------------------------------------------------------------------------
@@ -209,27 +208,53 @@ class CampaignStore:
         root: str | Path,
         grid: ScenarioGrid,
         fallback: Optional[Any] = None,
+        compression: str = COMPRESSION_NONE,
     ) -> "CampaignStore":
         """Initialize a campaign root for ``grid``.
 
         Re-creating over an existing root is allowed only when the grid
-        hash matches (the resume case); anything else raises rather
-        than silently mixing two campaigns in one directory.
+        hash matches (the resume case; the existing header's
+        ``compression`` then stays authoritative); anything else raises
+        rather than silently mixing two campaigns in one directory.
+        ``compression`` selects the on-disk form of *new* segments
+        (``"none"`` or ``"gzip"``); reads handle both transparently.
         """
         from ..backends import get_backend
 
         get_backend(grid.backend)  # unknown backend -> KeyError now
         grid.validate()  # bad axis/base values fail before any I/O
+        if compression not in COMPRESSIONS:
+            raise ValueError(
+                f"unknown compression {compression!r}; "
+                f"choose from {COMPRESSIONS}"
+            )
         store = cls(root, fallback=fallback)
         header_path = store.root / "campaign.json"
         grid_hash = grid.content_hash()
         if header_path.is_file():
             existing = json.loads(header_path.read_text())
             if existing.get("grid_hash") != grid_hash:
-                raise ValueError(
-                    f"campaign root {store.root} already holds a "
-                    f"different grid ({existing.get('grid_hash')!r})"
-                )
+                # Grid-schema drift (v1 headers hashed the axis-order-
+                # less form): if the stored grid re-hashes to the same
+                # v2 identity as the requested one, it IS the same
+                # campaign — resume under the root's original hash (the
+                # segments are tagged with it).  Anything else is a
+                # genuinely different grid.
+                try:
+                    legacy_hash = ScenarioGrid.from_dict(
+                        existing["grid"]
+                    ).content_hash()
+                except (KeyError, TypeError, ValueError):
+                    legacy_hash = None
+                if legacy_hash != grid_hash:
+                    raise ValueError(
+                        f"campaign root {store.root} already holds a "
+                        f"different grid ({existing.get('grid_hash')!r}; "
+                        f"note: grids serialized before "
+                        f"{GRID_SCHEMA!r} hash differently — a root "
+                        f"whose axis order cannot be recovered must be "
+                        f"re-run)"
+                    )
             return cls.open(root, fallback=fallback)
         header = {
             "schema": CAMPAIGN_SCHEMA,
@@ -238,13 +263,14 @@ class CampaignStore:
             "grid": grid.to_dict(),
             "grid_hash": grid_hash,
             "n_points": len(grid),
+            "compression": compression,
             "producer": {
                 "backend": grid.backend,
                 "store_schema": CAMPAIGN_SCHEMA,
                 "grid_schema": GRID_SCHEMA,
             },
         }
-        _atomic_write(
+        atomic_write_text(
             header_path, json.dumps(header, sort_keys=True, indent=1) + "\n"
         )
         store._header = header
@@ -287,6 +313,12 @@ class CampaignStore:
     def n_points(self) -> int:
         return int(self.header["n_points"])
 
+    @property
+    def compression(self) -> str:
+        """Compression of *newly written* segments (header field;
+        pre-compression campaigns read as ``"none"``)."""
+        return self.header.get("compression", COMPRESSION_NONE)
+
     # -- index ---------------------------------------------------------------
     def _read_index(self) -> Optional[dict]:
         path = self.root / "index.json"
@@ -307,7 +339,12 @@ class CampaignStore:
         listed |= set(index.get("ignored", []))
         on_disk = {
             str(p.relative_to(self.root))
-            for pattern in ("segments/*.jsonl", "loose/*.jsonl")
+            for pattern in (
+                "segments/*.jsonl",
+                "segments/*.jsonl.gz",
+                "loose/*.jsonl",
+                "loose/*.jsonl.gz",
+            )
             for p in self.root.glob(pattern)
         }
         if listed != on_disk:
@@ -320,7 +357,7 @@ class CampaignStore:
         loose: List[dict],
         ignored: Sequence[str] = (),
     ) -> None:
-        _atomic_write(
+        atomic_write_text(
             self.root / "index.json",
             json.dumps(
                 self._index_payload(segments, loose, ignored),
@@ -347,7 +384,10 @@ class CampaignStore:
         segments: List[dict] = []
         loose: List[dict] = []
         ignored: List[str] = []
-        for path in sorted(self.root.glob("segments/*.jsonl")):
+        seg_paths = sorted(self.root.glob("segments/*.jsonl")) + sorted(
+            self.root.glob("segments/*.jsonl.gz")
+        )
+        for path in sorted(seg_paths):
             header = self._segment_header(path)
             if header is None:
                 ignored.append(str(path.relative_to(self.root)))
@@ -361,7 +401,10 @@ class CampaignStore:
                     "backend": header["backend"],
                 }
             )
-        for path in sorted(self.root.glob("loose/*.jsonl")):
+        loose_paths = sorted(self.root.glob("loose/*.jsonl")) + sorted(
+            self.root.glob("loose/*.jsonl.gz")
+        )
+        for path in sorted(loose_paths):
             header = self._segment_header(path)
             if header is None:
                 ignored.append(str(path.relative_to(self.root)))
@@ -387,10 +430,13 @@ class CampaignStore:
         }
 
     def _segment_header(self, path: Path) -> Optional[dict]:
+        # EOFError: gzip's "compressed file ended before the
+        # end-of-stream marker" (a truncated .jsonl.gz) is not an
+        # OSError — it must count as unreadable, not crash the rebuild.
         try:
-            with path.open() as handle:
+            with open_segment_text(path) as handle:
                 header = json.loads(handle.readline())
-        except (OSError, ValueError):
+        except (OSError, ValueError, EOFError):
             return None
         if header.get("schema") != SEGMENT_SCHEMA:
             return None
@@ -431,20 +477,33 @@ class CampaignStore:
         count: int,
         backend: Optional[str],
         existing_segments: List[dict],
+        compression: Optional[str] = None,
     ) -> Tuple[Path, dict]:
         """Write one segment file (atomic) and return its index entry.
 
         The single owner of the segment protocol — naming, tagged
         header, file body — shared by the row and the columnar append
-        paths.  Does *not* touch ``index.json``; callers batch their
-        index updates.
+        paths.  ``compression`` overrides the campaign-header default
+        for this segment (the ``compact --compress`` migration path);
+        gzip segments carry a ``.jsonl.gz`` name, so every reader
+        dispatches by suffix.  Does *not* touch ``index.json``; callers
+        batch their index updates.
         """
         backend = backend if backend is not None else self.header["backend"]
+        compression = (
+            compression if compression is not None else self.compression
+        )
+        suffix = (
+            ".jsonl.gz" if compression == COMPRESSION_GZIP else ".jsonl"
+        )
         seq = len(existing_segments)
-        name = f"segments/seg-{seq:06d}.jsonl"
-        while (self.root / name).exists():  # compaction may renumber
+        name = f"segments/seg-{seq:06d}{suffix}"
+        while (  # compaction may renumber; either form occupies a seq
+            (self.root / f"segments/seg-{seq:06d}.jsonl").exists()
+            or (self.root / f"segments/seg-{seq:06d}.jsonl.gz").exists()
+        ):
             seq += 1
-            name = f"segments/seg-{seq:06d}.jsonl"
+            name = f"segments/seg-{seq:06d}{suffix}"
         header = {
             "schema": SEGMENT_SCHEMA,
             "campaign": self.header["grid_hash"],
@@ -457,7 +516,11 @@ class CampaignStore:
         lines = [json.dumps(header, sort_keys=True)]
         lines.extend(body_lines)
         target = self.root / name
-        _atomic_write(target, "\n".join(lines) + "\n")
+        atomic_write_text(
+            target,
+            "\n".join(lines) + "\n",
+            compress=compression == COMPRESSION_GZIP,
+        )
         entry = {
             "file": name,
             "ranges": header["ranges"],
@@ -576,7 +639,7 @@ class CampaignStore:
         for entry in self._index()["segments"]:
             path = self.root / entry["file"]
             encoding = entry["encoding"]
-            with path.open() as handle:
+            with open_segment_text(path) as handle:
                 header = json.loads(handle.readline())
                 if encoding in (ENC_BENCH_COLS, ENC_PATTERN_COLS):
                     columns = [json.loads(line) for line in handle if line.strip()]
@@ -626,8 +689,9 @@ class CampaignStore:
 
     def export_jsonl(self, target, where: Optional[dict] = None) -> int:
         """Dump completed points as JSON-lines ``{"index", "assignment",
-        "result"}`` records to a path or file object; returns the row
-        count.  ``where`` filters points by spec field values (the
+        "result"}`` records to a path or file object
+        (:func:`~repro.runner.io.write_jsonl`); returns the row count.
+        ``where`` filters points by spec field values (the
         :meth:`query` semantics)."""
         def _records():
             if where:
@@ -637,35 +701,23 @@ class CampaignStore:
                 for index, result in self.iter_rows():
                     yield index, self.assignment_at(index), result
 
-        def _write(handle) -> int:
-            count = 0
-            for index, assignment, result in _records():
-                handle.write(
-                    json.dumps(
-                        {
-                            "index": index,
-                            "assignment": assignment,
-                            "result": result,
-                        },
-                        sort_keys=True,
-                        separators=(",", ":"),
-                    )
-                    + "\n"
-                )
-                count += 1
-            return count
-
-        if hasattr(target, "write"):
-            return _write(target)
-        path = Path(target)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("w") as handle:
-            return _write(handle)
+        return write_jsonl(
+            target,
+            (
+                {"index": index, "assignment": assignment, "result": result}
+                for index, assignment, result in _records()
+            ),
+        )
 
     # -- maintenance ---------------------------------------------------------
-    def compact(self) -> dict:
+    def compact(self, compress: Optional[bool] = None) -> dict:
         """Merge the indexed segments into few large, sorted,
         duplicate-free segments; returns a summary dict.
+
+        ``compress=True`` writes the replacement segments gzipped (and
+        records gzip as the campaign's compression for future appends)
+        — the in-place migration behind ``campaign compact
+        --compress``; ``None`` keeps the campaign's current setting.
 
         Crash-safe ordering: the replacement segments are fully written
         *before* the index switches over and the old files are removed.
@@ -674,6 +726,11 @@ class CampaignStore:
         is unchanged, and duplicate rows resolve via latest-append-wins
         (the replacements sort after the originals).
         """
+        compression = (
+            self.compression
+            if compress is None
+            else (COMPRESSION_GZIP if compress else COMPRESSION_NONE)
+        )
         latest: Dict[int, Tuple[list, str]] = {}
         for index, row, encoding in self._raw_rows():
             latest[index] = (row, encoding)
@@ -692,8 +749,21 @@ class CampaignStore:
                 _, entry = self._write_segment(
                     self._encode_rows(part, encoding), encoding, ranges,
                     len(part), None, index["segments"] + new_segments,
+                    compression=compression,
                 )
                 new_segments.append(entry)
+        if compression != self.compression:
+            # Future appends follow the migrated form: rewrite the
+            # header before the index switch (a crash between the two
+            # only changes the *default* for new segments, never the
+            # readability of existing ones).
+            header = dict(self.header)
+            header["compression"] = compression
+            atomic_write_text(
+                self.root / "campaign.json",
+                json.dumps(header, sort_keys=True, indent=1) + "\n",
+            )
+            self._header = header
         self._write_index(
             new_segments, index["loose"], index.get("ignored", [])
         )
@@ -767,7 +837,7 @@ class CampaignStore:
             json.dumps(row, sort_keys=True, separators=(",", ":"))
             for row in rows
         )
-        _atomic_write(self.root / name, "\n".join(lines) + "\n")
+        atomic_write_text(self.root / name, "\n".join(lines) + "\n")
         loose.append(
             {
                 "file": name,
@@ -787,7 +857,7 @@ class CampaignStore:
             self._loose_map = {}
             for entry in self._index()["loose"]:
                 path = self.root / entry["file"]
-                with path.open() as handle:
+                with open_segment_text(path) as handle:
                     handle.readline()
                     for line in handle:
                         if not line.strip():
@@ -814,16 +884,28 @@ class CampaignStore:
 # execution
 # ---------------------------------------------------------------------------
 
-def _fast_bench_axes_ok(grid: ScenarioGrid) -> bool:
-    """True when every axis is either a model input the column kernel
-    accepts or a field the model provably ignores."""
-    from ..model.vector import BENCH_COLUMN_FIELDS
-
-    ignorable = {
+#: Spec fields that provably never enter the model arithmetic, per
+#: kind — an axis over one of these cannot break the columns fast path.
+_IGNORABLE_AXES = {
+    KIND_BENCH: {
         "iterations", "warmup", "seed", "verify", "max_retries",
         "ci_fraction", "gaussian_epsilon", "gaussian_delta",
-    }
-    return set(grid.axes) <= set(BENCH_COLUMN_FIELDS) | ignorable
+    },
+    KIND_PATTERN: {"iterations", "warmup", "seed"},
+}
+
+
+def _fast_axes_ok(grid: ScenarioGrid) -> bool:
+    """True when every axis is either a model input the column kernel
+    accepts or a field the model provably ignores."""
+    from ..model.vector import BENCH_COLUMN_FIELDS, PATTERN_COLUMN_FIELDS
+
+    fields = (
+        BENCH_COLUMN_FIELDS
+        if grid.kind == KIND_BENCH
+        else PATTERN_COLUMN_FIELDS
+    )
+    return set(grid.axes) <= set(fields) | _IGNORABLE_AXES[grid.kind]
 
 
 def _bench_fast_columns(
@@ -838,20 +920,11 @@ def _bench_fast_columns(
     from ..net import MELUXINA
 
     indices = np.arange(start, stop, dtype=np.int64)
-    axis_cols = grid.axis_columns(indices)
-    if "approach" in grid.axes:
-        # Factorized straight from the grid digits: no string
-        # materialization or hashing over the chunk.
-        axis_cols["approach"] = (
-            list(grid.axes["approach"]),
-            grid.axis_codes("approach", indices),
-        )
-    columns: Dict[str, Any] = {}
-    for name in BENCH_COLUMN_FIELDS:
-        if name in axis_cols:
-            columns[name] = axis_cols[name]
-        elif name in grid.base:
-            columns[name] = grid.base[name]
+    # The approach column is factorized straight from the grid digits:
+    # no string materialization or hashing over the chunk.
+    columns = grid.kernel_columns(
+        indices, BENCH_COLUMN_FIELDS, categorical=("approach",)
+    )
     params = grid.base.get("params", MELUXINA)
     cvars = grid.base.get("cvars") or Cvars()
     times = bench_times_from_columns(
@@ -865,8 +938,47 @@ def _bench_fast_columns(
     return [times.tolist()]
 
 
+def _pattern_fast_columns(
+    grid: ScenarioGrid, start: int, stop: int
+) -> List[list]:
+    """The analytic-pattern fast path: grid indices -> decoded axis
+    columns (pattern/approach/noise factorized from the grid digits)
+    -> topology-cached vectorized kernel -> three columns, with no
+    per-point ``scenario_at``/config objects anywhere."""
+    import numpy as np
+
+    from ..model.vector import (
+        PATTERN_COLUMN_FIELDS,
+        pattern_times_from_columns,
+    )
+    from ..mpi import Cvars
+    from ..net import MELUXINA
+
+    indices = np.arange(start, stop, dtype=np.int64)
+    columns = grid.kernel_columns(
+        indices,
+        PATTERN_COLUMN_FIELDS,
+        categorical=("pattern", "approach", "noise"),
+    )
+    params = grid.base.get("params", MELUXINA)
+    cvars = grid.base.get("cvars") or Cvars()
+    batch = pattern_times_from_columns(
+        params,
+        cvars.num_vcis,
+        cvars.part_aggr_size,
+        columns,
+        len(indices),
+    )
+    return [
+        batch.times.tolist(),
+        batch.bytes_per_iteration.tolist(),
+        batch.n_links.tolist(),
+    ]
+
+
 def _pattern_columns(grid: ScenarioGrid, start: int, stop: int) -> List[list]:
-    """Analytic pattern chunk: configs -> vectorized kernel -> columns."""
+    """Analytic pattern chunk, per-point config fallback (axes outside
+    the column kernel): configs -> vectorized kernel -> columns."""
     from ..model.vector import pattern_batch
 
     configs = [grid.scenario_at(i).spec for i in range(start, stop)]
@@ -878,113 +990,164 @@ def _pattern_columns(grid: ScenarioGrid, start: int, stop: int) -> List[list]:
     ]
 
 
+def _chunk_ranges(
+    store: CampaignStore, chunk_points: int, limit: Optional[int]
+) -> Iterator[Tuple[int, int]]:
+    """Yield [start, stop) chunk ranges over the missing points, capped
+    at ``limit`` points total."""
+    budget = limit if limit is not None else store.n_points
+    for range_start, range_stop in store.missing_ranges():
+        for start in range(range_start, range_stop, chunk_points):
+            if budget <= 0:
+                return
+            stop = min(start + chunk_points, range_stop, start + budget)
+            budget -= stop - start
+            yield start, stop
+
+
 def run_campaign(
     store: CampaignStore,
     jobs: int = 1,
     chunk_points: Optional[int] = None,
     limit: Optional[int] = None,
     pool: str = "auto",
+    submit_ahead: Optional[int] = None,
     progress=None,
 ) -> dict:
     """Execute a campaign's missing points, chunk by chunk.
 
     Each completed chunk is appended to the store before the next one
     starts (streaming: an interrupted run resumes from its segments).
-    ``limit`` caps the points executed by this invocation (useful for
-    time-boxed sessions and the CI resume assertion).  Returns a
-    summary dict (points executed, chunks, wall seconds, points/s).
+    Simulation-backed campaigns run their chunks through a bounded
+    **submit-ahead pipeline**: up to ``submit_ahead`` chunks (default
+    ~2x the workers, :func:`~repro.runner.planner.auto_submit_window`)
+    are in flight on one persistent pool while earlier results stream
+    to the store in submission order — the pool stays saturated across
+    chunk boundaries, and the store bytes are identical to sequential
+    execution.  ``limit`` caps the points executed by this invocation
+    (useful for time-boxed sessions and the CI resume assertion).
+    Returns a summary dict (points executed, chunks, wall seconds,
+    points/s).
     """
+    from collections import deque
+
     from ..backends import get_backend
-    from .executor import ParallelExecutor
+    from .executor import iter_chunk_results
+    from .planner import auto_chunk_size, auto_submit_window, pool_workers
     from .scenario import result_to_dict
 
     grid = store.grid
     backend = get_backend(grid.backend)
+    n_missing = sum(
+        stop - start for start, stop in store.missing_ranges()
+    )
+    if limit is not None:
+        n_missing = min(n_missing, limit)
+    # One pool decision for the whole campaign (the pipeline spans
+    # every chunk, so the per-batch auto policy cannot re-decide).
+    workers, use_pool = pool_workers(n_missing, jobs, pool)
     if chunk_points is None:
-        # Sim chunks must stay large enough relative to the worker
-        # count that the executor's auto pool policy (pool only when
-        # points >= 2x workers) can actually engage at high --jobs.
+        # A chunk is one pool task now, so sizing must leave at least
+        # a few chunks per worker (auto_chunk_size's rule) or a small
+        # campaign would keep most of the pool idle; its cap bounds
+        # how long results can sit before their ordered store write.
         chunk_points = (
             DEFAULT_INLINE_CHUNK
             if backend.inline
-            else max(DEFAULT_SIM_CHUNK, 4 * jobs)
+            else auto_chunk_size(n_missing, workers)
         )
     chunk_points = max(1, int(chunk_points))
-    fast_bench = (
+    fast = (
         backend.inline
-        and grid.kind == KIND_BENCH
         and grid.backend == "analytic"
-        and _fast_bench_axes_ok(grid)
-    )
-    executor = (
-        None
-        if backend.inline
-        else ParallelExecutor(jobs=jobs, pool=pool)
+        and _fast_axes_ok(grid)
     )
 
     t0 = time.perf_counter()
     executed = 0
     cached = 0
     chunks = 0
-    budget = limit if limit is not None else store.n_points
-    for range_start, range_stop in store.missing_ranges():
-        for start in range(range_start, range_stop, chunk_points):
-            if budget <= 0:
-                break
-            stop = min(start + chunk_points, range_stop, start + budget)
-            if fast_bench:
+
+    def note_chunk() -> None:
+        nonlocal chunks
+        chunks += 1
+        if progress is not None:
+            progress(
+                f"[campaign] {store.n_completed}/{store.n_points} "
+                f"points ({chunks} chunk(s) this run)"
+            )
+
+    if backend.inline:
+        for start, stop in _chunk_ranges(store, chunk_points, limit):
+            if fast and grid.kind == KIND_BENCH:
                 store.append_columns(
                     start, stop, _bench_fast_columns(grid, start, stop),
                     ENC_BENCH_COLS, backend=grid.backend,
                 )
-                rows = None
-                executed += stop - start
-            elif backend.inline and grid.kind == KIND_PATTERN:
+            elif grid.kind == KIND_PATTERN and grid.backend == "analytic":
+                columns_for = (
+                    _pattern_fast_columns if fast else _pattern_columns
+                )
                 store.append_columns(
-                    start, stop, _pattern_columns(grid, start, stop),
+                    start, stop, columns_for(grid, start, stop),
                     ENC_PATTERN_COLS, backend=grid.backend,
                 )
-                rows = None
-                executed += stop - start
-            elif backend.inline:
-                scenarios = [grid.scenario_at(i) for i in range(start, stop)]
+            else:
+                scenarios = [
+                    grid.scenario_at(i) for i in range(start, stop)
+                ]
                 results = backend.run_batch(scenarios)
                 rows = [
                     [start + j, result_to_dict(scenarios[j], results[j])]
                     for j in range(len(scenarios))
                 ]
-                encoding = ENC_RESULT
-                executed += stop - start
-            else:
-                scenarios = [grid.scenario_at(i) for i in range(start, stop)]
-                rows = []
+                store.append_chunk(
+                    rows, ENC_RESULT, [(start, stop)], backend=grid.backend
+                )
+            executed += stop - start
+            note_chunk()
+    else:
+        window = (
+            auto_submit_window(workers)
+            if submit_ahead is None
+            else max(1, int(submit_ahead))
+        )
+        # Chunk metadata travels beside the payload stream: the
+        # generator appends each chunk's meta as it is submitted, the
+        # ordered consumer pops it back — the deque never holds more
+        # than the in-flight window.
+        meta_q: deque = deque()
+
+        def payload_chunks():
+            for start, stop in _chunk_ranges(store, chunk_points, limit):
+                scenarios = [
+                    grid.scenario_at(i) for i in range(start, stop)
+                ]
+                rows: List[list] = []
                 cold: List[int] = []
                 for j, scenario in enumerate(scenarios):
                     warm = store.load_dict(scenario)
                     if warm is not None:
                         rows.append([start + j, warm])
-                        cached += 1
                     else:
                         cold.append(j)
-                report = executor.run([scenarios[j] for j in cold])
-                for j, result_dict in zip(cold, report.result_dicts):
-                    rows.append([start + j, result_dict])
-                rows.sort(key=lambda row: row[0])
-                encoding = ENC_RESULT
-                executed += len(cold)
-            if rows is not None:
-                store.append_chunk(
-                    rows, encoding, [(start, stop)], backend=grid.backend
-                )
-            budget -= stop - start
-            chunks += 1
-            if progress is not None:
-                progress(
-                    f"[campaign] {store.n_completed}/{store.n_points} "
-                    f"points ({chunks} chunk(s) this run)"
-                )
-        if budget <= 0:
-            break
+                meta_q.append((start, stop, rows, cold))
+                yield [scenarios[j].to_dict() for j in cold]
+
+        for result_dicts in iter_chunk_results(
+            payload_chunks(), workers, window, use_pool
+        ):
+            start, stop, rows, cold = meta_q.popleft()
+            for j, result_dict in zip(cold, result_dicts):
+                rows.append([start + j, result_dict])
+            rows.sort(key=lambda row: row[0])
+            store.append_chunk(
+                rows, ENC_RESULT, [(start, stop)], backend=grid.backend
+            )
+            cached += (stop - start) - len(cold)
+            executed += len(cold)
+            note_chunk()
+
     wall = time.perf_counter() - t0
     return {
         "executed": executed,

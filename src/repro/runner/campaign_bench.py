@@ -1,22 +1,34 @@
 """Campaign self-benchmark: the ``BENCH_campaign.json`` artifact.
 
-Runs one fixed ≥10⁵-point analytic grid through three pipelines and
-records each throughput, so the whole point of the batched refactor is
-a recorded, regenerable number instead of a claim:
+Runs one fixed ≥10⁵-point analytic grid per scenario family through
+three pipelines and records each throughput, so the whole point of the
+batched refactor is a recorded, regenerable number instead of a claim:
 
 * **batched** — the campaign pipeline end-to-end: grid-index decode →
-  vectorized kernel → columnar JSONL segments (what this PR adds);
-* **per-point pipeline** — the PR-3 status quo for a persisted
+  vectorized kernel → columnar JSONL segments.  For ``--kind pattern``
+  this is the columns-first pattern fast path (topology summaries
+  cached per unique geometry, no per-point config objects);
+* **per-point pipeline** — the per-point status quo for a persisted
   campaign: one ``Backend.run()`` per point, one content-hashed JSON
   file per point in a v1 :class:`~repro.runner.store.ResultStore` (the
   ``speedup`` headline is batched vs this, measured on a subsample and
-  scaled — running it on all 10⁵ points would add minutes and a
-  hundred thousand inodes for the same number);
+  scaled — running it on every point would add minutes and a hundred
+  thousand inodes for the same number);
 * **per-point execute only** — bare ``execute() + result_to_dict``
   with no persistence, the lower bound any per-point loop could reach
   (reported for transparency as ``speedup_vs_execute_only``).
 
-Run:  ``python -m repro campaign-bench [--json PATH] [--sizes N]``
+The pattern payload additionally records the **PR-4 config path**
+(``scenario_at`` per point into the batch kernel — the pattern
+campaign status quo before the columns-first fast path) as
+``speedup_vs_config_path``.
+
+Both families persist into one ``BENCH_campaign.json``: the bench run
+owns the top-level fields (unchanged schema), the pattern run owns the
+``pattern_campaign`` section; each run preserves the other's numbers.
+
+Run:  ``python -m repro campaign-bench [--kind bench|pattern]
+[--json PATH] [--sizes N]``
 """
 
 from __future__ import annotations
@@ -31,7 +43,12 @@ from typing import Optional
 
 from .campaign import CAMPAIGN_SCHEMA, CampaignStore, parse_grid_spec, run_campaign
 
-__all__ = ["DEFAULT_JSON_PATH", "campaign_grid_spec", "benchmark_campaign"]
+__all__ = [
+    "DEFAULT_JSON_PATH",
+    "campaign_grid_spec",
+    "pattern_campaign_grid_spec",
+    "benchmark_campaign",
+]
 
 #: Default persistence target (picked up by the perf trajectory).
 DEFAULT_JSON_PATH = "BENCH_campaign.json"
@@ -43,13 +60,24 @@ _SCHEMA = "repro.campaign.bench/v1"
 #: rates = 102,400 points.
 DEFAULT_N_SIZES = 320
 
+#: Size-axis length of the fixed *pattern* benchmark grid.  The default
+#: crosses 3 patterns x 8 approaches x 50 sizes x 3 thread counts x
+#: 4 noise shapes x 4 amplitudes x 2 compute rates = 115,200 points
+#: over 450 unique topology geometries.
+DEFAULT_N_PATTERN_SIZES = 50
+
 #: Points of the per-point *pipeline* baseline (executor + one JSON
 #: file per point): a uniform stride over the grid, timed and scaled.
 PIPELINE_SAMPLE_POINTS = 4096
 
+#: Points of the pattern per-point baselines (simulationless, but a
+#: scalar predictor call per point — sampled smaller to keep the
+#: benchmark itself quick).
+PATTERN_SAMPLE_POINTS = 512
+
 
 def campaign_grid_spec(n_sizes: int = DEFAULT_N_SIZES) -> dict:
-    """The fixed analytic campaign grid (declarative JSON spec form)."""
+    """The fixed analytic bench campaign grid (declarative JSON spec)."""
     return {
         "kind": "bench",
         "backend": "analytic",
@@ -73,74 +101,105 @@ def campaign_grid_spec(n_sizes: int = DEFAULT_N_SIZES) -> dict:
     }
 
 
-def benchmark_campaign(
-    path: str | Path = DEFAULT_JSON_PATH,
-    n_sizes: int = DEFAULT_N_SIZES,
-    root: Optional[str | Path] = None,
+def pattern_campaign_grid_spec(
+    n_sizes: int = DEFAULT_N_PATTERN_SIZES,
 ) -> dict:
-    """Run the fixed grid batched and per-point; persist the timings.
+    """The fixed analytic *pattern* campaign grid (Fig. 6-style sweep:
+    application patterns x approaches x sizes x threads x noise)."""
+    return {
+        "kind": "pattern",
+        "backend": "analytic",
+        "base": {"n_ranks": 8, "iterations": 3},
+        "axes": {
+            "pattern": ["halo3d", "sweep3d", "fft"],
+            "approach": [
+                "pt2pt_single",
+                "pt2pt_many",
+                "pt2pt_part",
+                "pt2pt_part_old",
+                "rma_single_passive",
+                "rma_many_passive",
+                "rma_single_active",
+                "rma_many_active",
+            ],
+            "msg_bytes": {
+                "range": [16384, 16384 + n_sizes * 16384, 16384]
+            },
+            "n_threads": [2, 4, 8],
+            "noise": ["none", "single", "uniform", "gaussian"],
+            "noise_us": [0.0, 25.0, 50.0, 100.0],
+            "compute_us_per_mb": [0.0, 200.0],
+        },
+    }
 
-    ``root`` keeps the campaign directory for inspection; by default it
-    lives in a temp dir and is removed after the measurement.  Returns
-    the written payload.
-    """
+
+def _merge_payload(path: Path, payload: dict) -> dict:
+    """Carry the other family's section over from an existing file, so
+    ``campaign-bench`` and ``campaign-bench --kind pattern`` co-own one
+    artifact."""
+    if not path.is_file():
+        return payload
+    try:
+        existing = json.loads(path.read_text())
+    except ValueError:
+        return payload
+    if "pattern_campaign" not in payload and "pattern_campaign" in existing:
+        payload["pattern_campaign"] = existing["pattern_campaign"]
+    return payload
+
+
+def _benchmark_bench(work: Path, n_sizes: int) -> dict:
+    """The bench-kind measurement (top-level payload fields)."""
     from .scenario import execute, result_to_dict
     from .store import ResultStore
 
     grid = parse_grid_spec(campaign_grid_spec(n_sizes))
-    keep = root is not None
-    work = Path(root) if keep else Path(tempfile.mkdtemp()) / "campaign"
-    work.mkdir(parents=True, exist_ok=True)
-    try:
-        # Warm the lazy imports (bench/apps/model layers load on first
-        # execute) so no pipeline is charged one-time import cost.
-        warm = grid.scenario_at(0)
-        result_to_dict(warm, execute(warm))
+    # Warm the lazy imports (bench/apps/model layers load on first
+    # execute) so no pipeline is charged one-time import cost.
+    warm = grid.scenario_at(0)
+    result_to_dict(warm, execute(warm))
 
-        t0 = time.perf_counter()
-        store = CampaignStore.create(work / "store", grid)
-        summary = run_campaign(store)
-        batched_wall = time.perf_counter() - t0
-        if summary["executed"] != len(grid):
-            raise RuntimeError(
-                f"campaign root {work / 'store'} already held "
-                f"{len(grid) - summary['executed']} of {len(grid)} points; "
-                f"a resumed run would record inflated throughput — "
-                f"benchmark against an empty --root"
-            )
-        store_stats = store.stats()
+    t0 = time.perf_counter()
+    store = CampaignStore.create(work / "store", grid)
+    summary = run_campaign(store)
+    batched_wall = time.perf_counter() - t0
+    if summary["executed"] != len(grid):
+        raise RuntimeError(
+            f"campaign root {work / 'store'} already held "
+            f"{len(grid) - summary['executed']} of {len(grid)} points; "
+            f"a resumed run would record inflated throughput — "
+            f"benchmark against an empty --root"
+        )
+    store_stats = store.stats()
 
-        # PR-3 per-point pipeline on a uniform subsample, scaled: one
-        # Backend.run() per point, one content-hashed file per point.
-        # (Deliberately NOT through the current executor — it would
-        # route the analytic batch through run_batch and measure the
-        # vectorized kernel instead of the per-point status quo.)
-        stride = max(1, len(grid) // PIPELINE_SAMPLE_POINTS)
-        sample = [
-            grid.scenario_at(i) for i in range(0, len(grid), stride)
-        ]
-        v1_store = ResultStore(work / "v1-store")
-        t0 = time.perf_counter()
-        for scenario in sample:
-            v1_store.put_dict(
-                scenario, result_to_dict(scenario, execute(scenario))
-            )
-        pipeline_wall = time.perf_counter() - t0
-        pipeline_pps = len(sample) / pipeline_wall
+    # Per-point pipeline on a uniform subsample, scaled: one
+    # Backend.run() per point, one content-hashed file per point.
+    # (Deliberately NOT through the current executor — it would
+    # route the analytic batch through run_batch and measure the
+    # vectorized kernel instead of the per-point status quo.)
+    stride = max(1, len(grid) // PIPELINE_SAMPLE_POINTS)
+    sample = [
+        grid.scenario_at(i) for i in range(0, len(grid), stride)
+    ]
+    v1_store = ResultStore(work / "v1-store")
+    t0 = time.perf_counter()
+    for scenario in sample:
+        v1_store.put_dict(
+            scenario, result_to_dict(scenario, execute(scenario))
+        )
+    pipeline_wall = time.perf_counter() - t0
+    pipeline_pps = len(sample) / pipeline_wall
 
-        t0 = time.perf_counter()
-        per_point = 0
-        for _, scenario in grid.points():
-            result_to_dict(scenario, execute(scenario))
-            per_point += 1
-        execute_wall = time.perf_counter() - t0
-        execute_pps = per_point / execute_wall
-    finally:
-        if not keep:
-            shutil.rmtree(work.parent, ignore_errors=True)
+    t0 = time.perf_counter()
+    per_point = 0
+    for _, scenario in grid.points():
+        result_to_dict(scenario, execute(scenario))
+        per_point += 1
+    execute_wall = time.perf_counter() - t0
+    execute_pps = per_point / execute_wall
 
     batched_pps = len(grid) / batched_wall
-    payload = {
+    return {
         "schema": _SCHEMA,
         #: Provenance: these are model evaluations, never measurements.
         "backend": "analytic",
@@ -171,6 +230,134 @@ def benchmark_campaign(
         "speedup": round(batched_pps / pipeline_pps, 1),
         "speedup_vs_execute_only": round(batched_pps / execute_pps, 1),
     }
+
+
+def _benchmark_pattern(work: Path, n_sizes: int) -> dict:
+    """The pattern-kind measurement (the ``pattern_campaign`` section)."""
+    from .campaign import _pattern_columns
+    from .scenario import execute, result_to_dict
+    from .store import ResultStore
+
+    grid = parse_grid_spec(pattern_campaign_grid_spec(n_sizes))
+    warm = grid.scenario_at(0)
+    result_to_dict(warm, execute(warm))
+
+    # End-to-end columns-first campaign, *including* the one-time
+    # topology builds (cold cache would be the honest number, but the
+    # process may have warmed some geometries via the baselines of a
+    # previous section — the fixed grid's geometry set is private to
+    # this spec, so in practice the builds land here).
+    t0 = time.perf_counter()
+    store = CampaignStore.create(work / "pattern-store", grid)
+    summary = run_campaign(store)
+    batched_wall = time.perf_counter() - t0
+    if summary["executed"] != len(grid):
+        raise RuntimeError(
+            f"campaign root {work / 'pattern-store'} already held "
+            f"{len(grid) - summary['executed']} of {len(grid)} points — "
+            f"benchmark against an empty --root"
+        )
+    store_stats = store.stats()
+    batched_pps = len(grid) / batched_wall
+
+    # PR-4 config path: a PatternConfig per point (scenario_at) into
+    # the batch kernel — the pattern-campaign status quo before the
+    # columns-first fast path.  Sampled contiguously (chunk-shaped,
+    # like the real path ran) and scaled.
+    chunk = min(len(grid), 4 * PATTERN_SAMPLE_POINTS)
+    t0 = time.perf_counter()
+    _pattern_columns(grid, 0, chunk)
+    config_wall = time.perf_counter() - t0
+    config_pps = chunk / config_wall
+
+    # Per-point pipeline: one Backend.run() + one content-hashed file
+    # per point (v1 ResultStore), sampled with a uniform stride.
+    stride = max(1, len(grid) // PATTERN_SAMPLE_POINTS)
+    sample = [
+        grid.scenario_at(i) for i in range(0, len(grid), stride)
+    ]
+    v1_store = ResultStore(work / "pattern-v1-store")
+    t0 = time.perf_counter()
+    for scenario in sample:
+        v1_store.put_dict(
+            scenario, result_to_dict(scenario, execute(scenario))
+        )
+    pipeline_wall = time.perf_counter() - t0
+    pipeline_pps = len(sample) / pipeline_wall
+
+    return {
+        "backend": "analytic",
+        "grid": pattern_campaign_grid_spec(n_sizes),
+        "n_points": len(grid),
+        "python": platform.python_version(),
+        "batched": {
+            "description": "columns-first fast path: grid digits -> "
+                           "geometry-cached topology summaries -> "
+                           "vectorized kernel -> columnar segments",
+            "wall_s": round(batched_wall, 4),
+            "points_per_s": round(batched_pps, 1),
+            "chunks": summary["chunks"],
+            "segments": store_stats["segments"],
+            "store_bytes": store_stats["total_bytes"],
+        },
+        "config_path": {
+            "description": "PR-4 status quo: scenario_at() config per "
+                           "point into the batch kernel, sampled",
+            "sample_points": chunk,
+            "points_per_s": round(config_pps, 1),
+        },
+        "per_point_pipeline": {
+            "description": "one Backend.run() + one content-hashed JSON "
+                           "file per point (v1 ResultStore), sampled",
+            "sample_points": len(sample),
+            "points_per_s": round(pipeline_pps, 1),
+            "projected_wall_s": round(len(grid) / pipeline_pps, 1),
+        },
+        "speedup": round(batched_pps / pipeline_pps, 1),
+        "speedup_vs_config_path": round(batched_pps / config_pps, 1),
+    }
+
+
+def benchmark_campaign(
+    path: str | Path = DEFAULT_JSON_PATH,
+    n_sizes: Optional[int] = None,
+    root: Optional[str | Path] = None,
+    kind: str = "bench",
+) -> dict:
+    """Run the fixed grid of ``kind`` batched and per-point; persist.
+
+    ``root`` keeps the campaign directory for inspection; by default it
+    lives in a temp dir and is removed after the measurement.  Returns
+    the written payload (both families' sections, merged).
+    """
+    if kind not in ("bench", "pattern"):
+        raise ValueError(f"unknown campaign-bench kind {kind!r}")
+    keep = root is not None
+    work = Path(root) if keep else Path(tempfile.mkdtemp()) / "campaign"
+    work.mkdir(parents=True, exist_ok=True)
     target = Path(path)
+    try:
+        if kind == "bench":
+            payload = _benchmark_bench(
+                work, n_sizes if n_sizes else DEFAULT_N_SIZES
+            )
+        else:
+            # The pattern section rides on the existing payload (or a
+            # stub carrying provenance when none exists yet).
+            if target.is_file():
+                try:
+                    payload = json.loads(target.read_text())
+                except ValueError:
+                    payload = {"schema": _SCHEMA}
+            else:
+                payload = {"schema": _SCHEMA}
+            payload["pattern_campaign"] = _benchmark_pattern(
+                work, n_sizes if n_sizes else DEFAULT_N_PATTERN_SIZES
+            )
+    finally:
+        if not keep:
+            shutil.rmtree(work.parent, ignore_errors=True)
+
+    payload = _merge_payload(target, payload)
     target.write_text(json.dumps(payload, indent=2) + "\n")
     return payload

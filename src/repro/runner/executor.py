@@ -46,7 +46,13 @@ from .scenario import (
 )
 from .store import ResultStore
 
-__all__ = ["ParallelExecutor", "RunReport", "run_scenarios", "run_specs"]
+__all__ = [
+    "ParallelExecutor",
+    "RunReport",
+    "iter_chunk_results",
+    "run_scenarios",
+    "run_specs",
+]
 
 
 def default_jobs() -> int:
@@ -70,6 +76,69 @@ def _execute_chunk(payloads: List[dict]) -> List[dict]:
     chunk instead of once per point.
     """
     return [_execute_payload(payload) for payload in payloads]
+
+
+def iter_chunk_results(
+    payload_chunks: Iterable[List[dict]],
+    workers: int,
+    window: int,
+    use_pool: bool = True,
+):
+    """Yield one result-dict list per payload chunk, **in submission
+    order**, keeping up to ``window`` chunks in flight on a persistent
+    pool — the campaign submit-ahead pipeline.
+
+    The per-chunk ``executor.run()`` loop drains the pool at every
+    chunk boundary (workers idle while the consumer writes its
+    segment).  Here one pool spans the whole campaign: while the
+    consumer handles chunk *k*, chunks *k+1 … k+window-1* are already
+    executing.  Ordered delivery means the consumer's store writes are
+    byte-identical to sequential execution — results move through
+    exactly the serialized form ``_execute_chunk`` produces either
+    way, so ``use_pool=False`` (the auto-serial fallback) differs only
+    in wall-clock.
+
+    ``payload_chunks`` is consumed lazily: a chunk's payloads are only
+    materialized when a window slot frees up, so million-point
+    campaigns never hold more than ``window`` chunks of scenario
+    dicts.  The pool itself is created lazily, on the first non-empty
+    chunk — a fully warm resume (every point served read-through, all
+    payloads empty) forks no workers at all.
+    """
+    if not use_pool or workers <= 1:
+        for payloads in payload_chunks:
+            yield _execute_chunk(payloads)
+        return
+    from collections import deque
+
+    window = max(1, int(window))
+    #: (ready, value) entries: ready results pass through the ordered
+    #: queue untouched, async ones block on .get() at their turn.
+    pending: deque = deque()
+
+    def resolve(entry):
+        ready, value = entry
+        return value if ready else value.get()
+
+    pool = None
+    try:
+        for payloads in payload_chunks:
+            if not payloads:
+                pending.append((True, []))
+            else:
+                if pool is None:
+                    pool = multiprocessing.Pool(processes=workers)
+                pending.append(
+                    (False, pool.apply_async(_execute_chunk, (payloads,)))
+                )
+            while len(pending) >= window:
+                yield resolve(pending.popleft())
+        while pending:
+            yield resolve(pending.popleft())
+    finally:
+        if pool is not None:
+            pool.terminate()
+            pool.join()
 
 
 @dataclass

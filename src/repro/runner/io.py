@@ -1,0 +1,102 @@
+"""Shared store I/O helpers: atomic writes and JSONL export plumbing.
+
+Every persistent artifact in the runner layer — v1 result records,
+campaign headers, segments, indexes, JSONL exports — goes through the
+same two idioms:
+
+* **atomic replace** — write to a unique temp file in the target's
+  directory, then ``os.replace`` it into place, so a store shared by
+  parallel workers or interrupted mid-run never holds a torn file;
+* **path-or-handle targets** — export entry points accept either a
+  filesystem path (opened, parents created) or an open file object
+  (written through, left open), so ``--out FILE`` and stdout piping
+  share one code path.
+
+Both used to be duplicated between :mod:`repro.runner.store` and
+:mod:`repro.runner.campaign`; this module is the single owner now.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable, IO, Iterable, Union
+
+__all__ = [
+    "atomic_write_text",
+    "open_segment_text",
+    "write_jsonl",
+]
+
+
+def atomic_write_text(target: Path, text: str, compress: bool = False) -> None:
+    """Atomically replace ``target`` with ``text`` (creating parents).
+
+    The temp name is unique per writer, so concurrent processes writing
+    the same target cannot interleave; the last ``os.replace`` wins with
+    a whole file either way.  With ``compress=True`` the bytes on disk
+    are gzip-compressed (``mtime=0`` so identical text always produces
+    identical bytes — the campaign byte-identity invariant).
+    """
+    target = Path(target)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        prefix=target.stem + ".", suffix=".tmp", dir=target.parent
+    )
+    try:
+        if compress:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(
+                    gzip.compress(text.encode("utf-8"), mtime=0)
+                )
+        else:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+        os.replace(tmp, target)
+    except BaseException:
+        os.unlink(tmp)
+        raise
+
+
+def open_segment_text(path: Path) -> IO[str]:
+    """Open a JSONL segment for text reading, gzip-transparent.
+
+    Dispatch is by suffix (``.gz`` — the only compressed form the
+    campaign store writes), so plain and compressed segments can
+    coexist in one store and every reader stays oblivious.
+    """
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt", encoding="utf-8")
+    return path.open()
+
+
+def write_jsonl(
+    target: Union[str, Path, IO[str]],
+    records: Iterable[dict],
+    encode: Callable[[dict], str] = lambda record: json.dumps(
+        record, sort_keys=True, separators=(",", ":")
+    ),
+) -> int:
+    """Write ``records`` as JSON lines to a path or open file object.
+
+    Returns the record count.  A path target is created (with parents)
+    and closed; a file-object target is written through and left open —
+    the shared contract of every ``export_jsonl`` entry point.
+    """
+    def _write(handle: IO[str]) -> int:
+        count = 0
+        for record in records:
+            handle.write(encode(record) + "\n")
+            count += 1
+        return count
+
+    if hasattr(target, "write"):
+        return _write(target)  # type: ignore[arg-type]
+    path = Path(target)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        return _write(handle)

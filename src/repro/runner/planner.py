@@ -27,7 +27,14 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["Chunk", "ExecutionPlan", "plan_execution", "auto_chunk_size"]
+__all__ = [
+    "Chunk",
+    "ExecutionPlan",
+    "plan_execution",
+    "auto_chunk_size",
+    "auto_submit_window",
+    "pool_workers",
+]
 
 #: Valid pool policies: "auto" (serial fallback for tiny grids / single
 #: CPU), "always" (force the pool whenever workers > 1), "never".
@@ -48,6 +55,49 @@ def auto_chunk_size(n_points: int, workers: int) -> int:
         return 1
     target = -(-n_points // (max(1, workers) * CHUNKS_PER_WORKER))
     return max(1, min(MAX_CHUNK_POINTS, target))
+
+
+def auto_submit_window(workers: int) -> int:
+    """Chunks kept in flight by the campaign submit-ahead pipeline.
+
+    Two chunks per worker: one being executed plus one queued behind
+    it, so the pool never drains at a chunk boundary while the consumer
+    writes segments — and the in-flight result backlog (which the
+    ordered consumer must buffer) stays bounded.
+    """
+    return max(2, 2 * max(1, workers))
+
+
+def pool_workers(
+    n_points: int,
+    jobs: int,
+    pool: str = "auto",
+    cpu_count: Optional[int] = None,
+) -> Tuple[int, bool]:
+    """``(workers, use_pool)`` for a purely pooled workload — the one
+    owner of the worker-count / pool-fallback policy.
+
+    :func:`plan_execution` applies it to a batch's pooled portion;
+    callers that schedule their own chunks (the campaign submit-ahead
+    pipeline spans *many* executor-sized batches) pin one decision up
+    front rather than re-deciding per chunk.
+    """
+    if pool not in POOL_POLICIES:
+        raise ValueError(
+            f"unknown pool policy {pool!r}; choose from {POOL_POLICIES}"
+        )
+    cpus = (os.cpu_count() or 1) if cpu_count is None else cpu_count
+    # More workers than cores cannot help a CPU-bound simulation; more
+    # workers than points just forks idle processes.
+    workers = max(1, min(jobs, cpus, n_points))
+    if pool == "always":
+        workers = max(1, min(jobs, n_points))
+    elif pool == "auto" and n_points < 2 * workers:
+        # Fewer than two points per worker: shrink the pool so chunk
+        # IPC still amortizes, rather than abandoning parallelism —
+        # a grid too small to feed even two workers runs serial.
+        workers = max(1, n_points // 2)
+    return workers, workers > 1 and pool != "never"
 
 
 @dataclass(frozen=True)
@@ -123,18 +173,9 @@ def plan_execution(
             Chunk(indices=tuple(indices), backend=backend, inline=True)
         )
 
-    cpus = (os.cpu_count() or 1) if cpu_count is None else cpu_count
-    # More workers than cores cannot help a CPU-bound simulation; more
-    # workers than points just forks idle processes.
-    plan.workers = max(1, min(jobs, cpus, n_pooled))
-    if pool == "always":
-        plan.workers = max(1, min(jobs, n_pooled))
-    elif pool == "auto" and n_pooled < 2 * plan.workers:
-        # Fewer than two points per worker: shrink the pool so chunk
-        # IPC still amortizes, rather than abandoning parallelism —
-        # a grid too small to feed even two workers runs serial.
-        plan.workers = max(1, n_pooled // 2)
-    plan.use_pool = plan.workers > 1 and pool != "never"
+    plan.workers, plan.use_pool = pool_workers(
+        n_pooled, jobs, pool, cpu_count=cpu_count
+    )
     plan.chunk_size = (
         auto_chunk_size(n_pooled, plan.workers)
         if chunk_size is None

@@ -58,7 +58,19 @@ SCHEMA = "repro.runner/v2"
 
 #: Version tag of the serialized declarative grid form
 #: (:meth:`ScenarioGrid.to_dict`), baked into every campaign identity.
-GRID_SCHEMA = "repro.runner.grid/v1"
+#: v2 added the explicit ``axis_order`` list: axis declaration order
+#: *is* the row-major index mapping, and a JSON object's key order
+#: does not survive key-sorted serialization (the campaign header and
+#: every content hash are written with ``sort_keys=True``, which
+#: alphabetized the axes dict and silently remapped indices on
+#: reopen) — a list does.
+GRID_SCHEMA = "repro.runner.grid/v2"
+
+#: Grid schema tags :meth:`ScenarioGrid.from_dict` accepts.  v1
+#: payloads (no ``axis_order``) parse with their axes dict's order —
+#: correct only when that order survived serialization, which is why
+#: v2 exists.
+_GRID_SCHEMAS = (None, "repro.runner.grid/v1", GRID_SCHEMA)
 
 #: The default execution backend (the full discrete-event simulator).
 DEFAULT_BACKEND = "sim"
@@ -347,6 +359,44 @@ class ScenarioGrid:
         indices = np.asarray(indices, dtype=np.int64)
         return (indices // self._strides()[name]) % len(self.axes[name])
 
+    def kernel_columns(
+        self,
+        indices,
+        fields: Sequence[str],
+        categorical: Sequence[str] = (),
+    ) -> Dict[str, Any]:
+        """Kernel-ready columns for ``fields`` over many grid indices.
+
+        The one decode both campaign fast paths (bench *and* pattern)
+        share: each requested field becomes either a decoded axis
+        column (:meth:`axis_columns`), a broadcastable base scalar, or
+        — for ``categorical`` fields — a ``(values, codes)`` pair with
+        the codes taken straight from the grid digits
+        (:meth:`axis_codes`: no value materialization, no string
+        hashing over the batch).  Fields in neither the axes nor the
+        base are omitted, so the kernels apply their spec defaults.
+        """
+        import numpy as np
+
+        indices = np.asarray(indices, dtype=np.int64)
+        if len(indices) and (
+            indices.min() < 0 or indices.max() >= len(self)
+        ):
+            raise IndexError("grid indices out of range")
+        strides = self._strides()
+        columns: Dict[str, Any] = {}
+        for name in fields:
+            if name in self.axes:
+                values = self.axes[name]
+                digits = (indices // strides[name]) % len(values)
+                if name in categorical:
+                    columns[name] = (list(values), digits)
+                else:
+                    columns[name] = np.take(np.asarray(values), digits)
+            elif name in self.base:
+                columns[name] = self.base[name]
+        return columns
+
     # -- serialization -------------------------------------------------------
     def to_dict(self) -> dict:
         """JSON-safe declarative form (the campaign-header grid spec).
@@ -372,6 +422,10 @@ class ScenarioGrid:
             "kind": self.kind,
             "backend": self.backend,
             "base": base,
+            # Expansion order is part of the grid's identity (it IS
+            # the index mapping); the list carries it through any
+            # key-sorting serializer, the dict alone would not.
+            "axis_order": list(self.axes),
             "axes": {name: list(values) for name, values in self.axes.items()},
         }
 
@@ -381,7 +435,7 @@ class ScenarioGrid:
         from ..mpi import Cvars
         from ..net import SystemParams
 
-        if payload.get("schema") not in (None, GRID_SCHEMA):
+        if payload.get("schema") not in _GRID_SCHEMAS:
             raise ValueError(
                 f"unrecognized grid schema {payload.get('schema')!r}"
             )
@@ -390,13 +444,19 @@ class ScenarioGrid:
             base["params"] = SystemParams(**base["params"])
         if "cvars" in base and isinstance(base["cvars"], Mapping):
             base["cvars"] = Cvars(**base["cvars"])
+        axes_payload = payload.get("axes", {})
+        order = payload.get("axis_order")
+        if order is None:
+            order = list(axes_payload)
+        elif sorted(order) != sorted(axes_payload):
+            raise ValueError(
+                f"axis_order {order!r} does not match axes "
+                f"{sorted(axes_payload)!r}"
+            )
         return cls(
             kind=payload["kind"],
             base=base,
-            axes={
-                name: list(values)
-                for name, values in payload.get("axes", {}).items()
-            },
+            axes={name: list(axes_payload[name]) for name in order},
             backend=payload.get("backend", DEFAULT_BACKEND),
         )
 

@@ -21,11 +21,10 @@ parallel workers or interrupted mid-run never holds a torn record.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from .io import atomic_write_text, write_jsonl
 from .scenario import Scenario, result_from_dict, result_to_dict
 
 __all__ = ["ResultStore"]
@@ -49,31 +48,18 @@ class ResultStore:
 
     # -- records -------------------------------------------------------------
     def put_dict(self, scenario: Scenario, result_dict: dict) -> Path:
-        """Record a serialized result for ``scenario`` (atomic write).
-
-        The temp name is unique per writer, so concurrent processes
-        sharing one store cannot interleave on it; last ``os.replace``
-        wins with a whole record either way.
-        """
+        """Record a serialized result for ``scenario`` (atomic write,
+        :func:`~repro.runner.io.atomic_write_text`: concurrent writers
+        sharing one store never tear a record)."""
         target = self.path_for(scenario)
-        target.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "schema": _STORE_SCHEMA,
             "scenario": scenario.to_dict(),
             "result": result_dict,
         }
-        fd, tmp = tempfile.mkstemp(
-            prefix=target.stem + ".", suffix=".tmp", dir=target.parent
+        atomic_write_text(
+            target, json.dumps(payload, sort_keys=True, indent=1) + "\n"
         )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(
-                    json.dumps(payload, sort_keys=True, indent=1) + "\n"
-                )
-            os.replace(tmp, target)
-        except BaseException:
-            os.unlink(tmp)
-            raise
         return target
 
     def put(self, scenario: Scenario, result: Any) -> Path:
@@ -219,33 +205,16 @@ class ResultStore:
 
     def export_jsonl(self, target) -> int:
         """Dump every readable record as JSON-lines ``{"hash",
-        "scenario", "result"}`` to a path or file object; returns the
-        record count (the ``python -m repro store --export jsonl``
-        backend)."""
-        def _write(handle) -> int:
-            count = 0
-            for digest, scenario, result in self.iter_payloads():
-                handle.write(
-                    json.dumps(
-                        {
-                            "hash": digest,
-                            "scenario": scenario,
-                            "result": result,
-                        },
-                        sort_keys=True,
-                        separators=(",", ":"),
-                    )
-                    + "\n"
-                )
-                count += 1
-            return count
-
-        if hasattr(target, "write"):
-            return _write(target)
-        path = Path(target)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("w") as handle:
-            return _write(handle)
+        "scenario", "result"}`` to a path or file object
+        (:func:`~repro.runner.io.write_jsonl`); returns the record
+        count (the ``python -m repro store --export jsonl`` backend)."""
+        return write_jsonl(
+            target,
+            (
+                {"hash": digest, "scenario": scenario, "result": result}
+                for digest, scenario, result in self.iter_payloads()
+            ),
+        )
 
     def pattern_sweep(self, backend: str = "sim"):
         """Stored app-pattern records of one ``backend`` as a

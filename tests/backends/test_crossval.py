@@ -147,6 +147,59 @@ class TestPatternAgreement:
         )
 
 
+class TestPatternNoiseAgreement:
+    """The injected-noise mean-shift correction: noisy pattern points
+    must sit inside the documented noise tolerance (before the
+    correction they missed by up to ~6x)."""
+
+    @pytest.mark.parametrize(
+        "pattern,approach,noise,noise_us,sigma",
+        [
+            ("halo3d", "pt2pt_part", "single", 50.0, 0.0),
+            ("halo3d", "pt2pt_many", "uniform", 50.0, 0.0),
+            ("halo3d", "pt2pt_single", "gaussian", 50.0, 10.0),
+            ("sweep3d", "pt2pt_single", "single", 50.0, 0.0),
+            ("sweep3d", "pt2pt_part", "gaussian", 50.0, 10.0),
+            ("fft", "pt2pt_many", "uniform", 50.0, 0.0),
+        ],
+    )
+    def test_noise_within_tolerance(
+        self, pattern, approach, noise, noise_us, sigma
+    ):
+        from repro.backends.crossval import PATTERN_NOISE_TOLERANCE
+
+        config = PatternConfig(
+            pattern=pattern,
+            approach=approach,
+            n_ranks=8,
+            n_threads=4,
+            msg_bytes=1 << 16,
+            iterations=3,
+            compute_us_per_mb=200.0,
+            noise=noise,
+            noise_us=noise_us,
+            noise_sigma_us=sigma,
+        )
+        sim, ana = _sim_and_analytic(config)
+        rel = abs(ana - sim) / sim
+        assert rel <= PATTERN_NOISE_TOLERANCE, (
+            f"{pattern}/{approach}/{noise}: sim {sim * 1e6:.2f}us vs "
+            f"analytic {ana * 1e6:.2f}us ({rel:.1%})"
+        )
+
+    def test_noisy_scenarios_use_noise_tolerance(self):
+        from repro.backends.crossval import PATTERN_NOISE_TOLERANCE
+
+        noisy = scenario_for(
+            PatternConfig(
+                pattern="halo3d", noise="single", noise_us=10.0
+            )
+        )
+        quiet = scenario_for(PatternConfig(pattern="halo3d"))
+        assert tolerance_for(noisy) == PATTERN_NOISE_TOLERANCE
+        assert tolerance_for(quiet) == PATTERN_TOLERANCE
+
+
 class TestCrossValReport:
     def test_cross_validate_runs_both_backends(self):
         scenarios = [

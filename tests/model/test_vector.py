@@ -173,6 +173,149 @@ class TestPatternEquivalence:
         batch = predict_pattern_times(configs)
         assert scalar == list(batch.times)
 
+    @pytest.mark.parametrize("pattern", ["halo3d", "sweep3d", "fft"])
+    def test_noise_modes_bitwise_equal(self, pattern):
+        """The injected-noise mean shift, all shapes x all approaches."""
+        configs = [
+            PatternConfig(
+                pattern=pattern,
+                approach=approach,
+                n_ranks=8,
+                n_threads=nt,
+                msg_bytes=size,
+                iterations=1,
+                compute_us_per_mb=200.0,
+                noise=noise,
+                noise_us=noise_us,
+                noise_sigma_us=sigma,
+            )
+            for approach in ALL_APPROACHES
+            for nt in (2, 8)
+            for size in (16384, 1 << 20)
+            for noise, noise_us, sigma in [
+                ("none", 0.0, 0.0),
+                ("single", 25.0, 0.0),
+                ("uniform", 80.0, 0.0),
+                ("gaussian", 50.0, 15.0),
+                ("gaussian", 50.0, 0.0),
+            ]
+        ]
+        scalar = [predict_pattern_time(c).time for c in configs]
+        batch = predict_pattern_times(configs)
+        assert scalar == list(batch.times)
+
+    @pytest.mark.parametrize("pattern", ["halo3d", "sweep3d", "fft"])
+    def test_columns_api_matches_scalar(self, pattern):
+        """The campaign fast path (bare columns, no config objects):
+        all 8 approaches x noise modes, bitwise-equal to the scalar
+        predictor — the tentpole invariant."""
+        from repro.model.vector import pattern_times_from_columns
+
+        configs = [
+            PatternConfig(
+                pattern=pattern,
+                approach=approach,
+                n_ranks=ranks,
+                n_threads=nt,
+                msg_bytes=size,
+                iterations=1,
+                compute_us_per_mb=comp,
+                noise=noise,
+                noise_us=noise_us,
+            )
+            for approach in ALL_APPROACHES
+            for ranks in (4, 8)
+            for nt in (2, 4)
+            for size in (16384, 1 << 20)
+            for comp in (0.0, 200.0)
+            for noise, noise_us in [
+                ("none", 0.0), ("single", 30.0),
+                ("uniform", 30.0), ("gaussian", 30.0),
+            ]
+        ]
+        columns = {
+            name: np.array([getattr(c, name) for c in configs])
+            for name in (
+                "n_ranks", "n_threads", "msg_bytes",
+                "compute_us_per_mb", "noise_us", "noise_sigma_us",
+            )
+        }
+        for name in ("pattern", "approach", "noise"):
+            columns[name] = np.array(
+                [getattr(c, name) for c in configs], dtype=object
+            )
+        cvars = Cvars()
+        batch = pattern_times_from_columns(
+            MELUXINA, cvars.num_vcis, cvars.part_aggr_size,
+            columns, len(configs),
+        )
+        scalar = [predict_pattern_time(c).time for c in configs]
+        assert scalar == list(batch.times)
+        native = predict_pattern_times(configs)
+        assert list(batch.bytes_per_iteration) == list(
+            native.bytes_per_iteration
+        )
+        assert list(batch.n_links) == list(native.n_links)
+
+    def test_columns_api_defaults_and_scalars(self):
+        """Scalar/broadcast columns and spec-default fallbacks."""
+        from repro.model.vector import pattern_times_from_columns
+
+        config = PatternConfig(pattern="halo3d")  # all defaults
+        batch = pattern_times_from_columns(
+            MELUXINA, 1, Cvars().part_aggr_size,
+            {"pattern": "halo3d"}, 3,
+        )
+        expected = predict_pattern_time(config).time
+        assert list(batch.times) == [expected] * 3
+
+    def test_columns_api_requires_pattern(self):
+        from repro.model.vector import pattern_times_from_columns
+
+        with pytest.raises(KeyError):
+            pattern_times_from_columns(
+                MELUXINA, 1, 512, {"msg_bytes": 1024}, 1
+            )
+
+    def test_columns_api_rejects_unknown_approach(self):
+        from repro.model.vector import pattern_times_from_columns
+
+        with pytest.raises(KeyError, match="no analytic predictor"):
+            pattern_times_from_columns(
+                MELUXINA, 1, 512,
+                {"pattern": "halo3d", "approach": "pt2pt_partt"}, 1,
+            )
+
+    def test_noise_mean_quantum_shapes(self):
+        from repro.model.patterns import noise_mean_quantum
+
+        assert noise_mean_quantum("none", 100.0, 0.0) == 0.0
+        assert noise_mean_quantum("single", 50.0, 0.0) == 50.0 * 1e-6
+        assert noise_mean_quantum("uniform", 50.0, 0.0) == 50.0 * 1e-6
+        # sigma=0 degenerates to the amplitude
+        assert noise_mean_quantum("gaussian", 50.0, 0.0) == 50.0 * 1e-6
+        # truncation at zero pulls the mean above the raw mean
+        truncated = noise_mean_quantum("gaussian", 10.0, 30.0)
+        assert truncated > 10.0e-6
+        with pytest.raises(KeyError):
+            noise_mean_quantum("no_such_noise", 1.0, 0.0)
+
+    def test_noise_free_predictions_unchanged_by_correction(self):
+        """noise="none" must flow through the exact pre-correction
+        arithmetic: the shift terms all collapse to + 0.0."""
+        config = PatternConfig(
+            pattern="halo3d", approach="pt2pt_part", n_ranks=8,
+            n_threads=4, msg_bytes=1 << 16, compute_us_per_mb=200.0,
+        )
+        prediction = predict_pattern_time(config)
+        assert prediction.breakdown["noise_shift"] == 0.0
+        noisy = PatternConfig(
+            pattern="halo3d", approach="pt2pt_part", n_ranks=8,
+            n_threads=4, msg_bytes=1 << 16, compute_us_per_mb=200.0,
+            noise="single", noise_us=50.0,
+        )
+        assert predict_pattern_time(noisy).time != prediction.time
+
     def test_topology_metadata_matches_pattern(self):
         from repro.apps.base import build_pattern
 

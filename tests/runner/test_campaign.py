@@ -62,6 +62,62 @@ class TestGridAddressing:
         with pytest.raises(IndexError):
             grid.assignment_at(len(grid))
 
+    def test_axis_order_survives_key_sorted_serialization(self):
+        """Axis declaration order IS the row-major index mapping; it
+        must survive a sort_keys round trip (the campaign header is
+        written that way — losing it silently remaps every index)."""
+        spec = {
+            "kind": "bench",
+            "backend": "analytic",
+            "base": {"iterations": 1},
+            # deliberately non-alphabetical axis order
+            "axes": {
+                "total_bytes": [1024, 2048],
+                "approach": ["pt2pt_single", "pt2pt_part"],
+                "n_threads": [1, 2, 4],
+            },
+        }
+        grid = parse_grid_spec(spec)
+        sorted_json = json.dumps(grid.to_dict(), sort_keys=True)
+        clone = ScenarioGrid.from_dict(json.loads(sorted_json))
+        assert list(clone.axes) == ["total_bytes", "approach", "n_threads"]
+        assert clone.content_hash() == grid.content_hash()
+        for index in range(len(grid)):
+            assert clone.assignment_at(index) == grid.assignment_at(index)
+
+    def test_axis_order_mismatch_rejected(self):
+        payload = parse_grid_spec(analytic_spec()).to_dict()
+        payload["axis_order"] = payload["axis_order"][:-1]
+        with pytest.raises(ValueError):
+            ScenarioGrid.from_dict(payload)
+
+    def test_campaign_reopened_from_disk_keeps_index_mapping(self, tmp_path):
+        """The end-to-end regression: a campaign written by one
+        process and reopened cold from campaign.json must decode every
+        stored row to the same scenario the writer executed."""
+        grid = parse_grid_spec(
+            {
+                "kind": "pattern",
+                "backend": "analytic",
+                "base": {"n_ranks": 4, "iterations": 2},
+                # pattern deliberately NOT alphabetically last-fastest
+                "axes": {
+                    "pattern": ["halo3d", "fft"],
+                    "msg_bytes": [16384, 65536],
+                    "approach": ["pt2pt_single", "pt2pt_part"],
+                },
+            }
+        )
+        store = CampaignStore.create(tmp_path / "camp", grid)
+        run_campaign(store)
+        reopened = CampaignStore.open(tmp_path / "camp")  # cold header
+        assert list(reopened.grid.axes) == ["pattern", "msg_bytes",
+                                            "approach"]
+        for index, result in reopened.iter_rows():
+            native = execute(reopened.scenario_at(index))
+            assert result["times"] == [float(t) for t in native.times]
+            assert result["n_links"] == native.n_links
+
     def test_shorthand_axes(self):
         grid = parse_grid_spec(
             {
@@ -133,6 +189,47 @@ class TestCampaignLifecycle:
         )
         with pytest.raises(KeyError):
             CampaignStore.create(tmp_path / "camp2", good)
+
+    def test_resume_accepts_v1_header_with_recoverable_order(self, tmp_path):
+        """A root whose header predates the axis_order field resumes
+        when the stored grid re-hashes to the requested identity (the
+        only case where the old index mapping is unambiguous)."""
+        # axes declared in alphabetical order == the order a v1
+        # sort_keys header preserved, so the identity is recoverable
+        spec = {
+            "kind": "bench",
+            "backend": "analytic",
+            "base": {"iterations": 2},
+            "axes": {
+                "approach": ["pt2pt_single", "pt2pt_part"],
+                "n_threads": [1, 2],
+                "total_bytes": [1024, 4096],
+            },
+        }
+        grid = parse_grid_spec(spec)
+        store = CampaignStore.create(tmp_path / "camp", grid)
+        run_campaign(store, limit=3)
+        # Rewrite the header as a v1 producer would have left it.
+        header_path = tmp_path / "camp" / "campaign.json"
+        header = json.loads(header_path.read_text())
+        header["grid"]["schema"] = "repro.runner.grid/v1"
+        del header["grid"]["axis_order"]
+        v1_like = dict(header)
+        v1_like["grid_hash"] = "0" * 64  # a v1 hash never matches v2
+        header_path.write_text(json.dumps(v1_like, sort_keys=True))
+        # Segments are tagged with the old hash; retag to match.
+        for seg in (tmp_path / "camp" / "segments").glob("*.jsonl"):
+            lines = seg.read_text().splitlines()
+            seg_header = json.loads(lines[0])
+            seg_header["campaign"] = "0" * 64
+            seg.write_text(
+                "\n".join([json.dumps(seg_header, sort_keys=True)]
+                          + lines[1:]) + "\n"
+            )
+        (tmp_path / "camp" / "index.json").unlink()
+        resumed = CampaignStore.create(tmp_path / "camp", grid)
+        assert resumed.n_completed == 3
+        assert run_campaign(resumed)["executed"] == len(grid) - 3
 
     def test_create_refuses_foreign_grid(self, tmp_path):
         grid = parse_grid_spec(analytic_spec())
@@ -279,6 +376,304 @@ class TestProvenance:
         reopened = CampaignStore.open(tmp_path / "camp")
         # the alien segment's claimed coverage must not count
         assert reopened.n_completed == 5
+
+
+def pattern_spec():
+    return {
+        "kind": "pattern",
+        "backend": "analytic",
+        "base": {"n_ranks": 8, "iterations": 2},
+        "axes": {
+            "pattern": ["halo3d", "sweep3d", "fft"],
+            "approach": ["pt2pt_single", "pt2pt_part", "rma_many_active"],
+            "msg_bytes": [16384, 1 << 20],
+            "n_threads": [2, 4],
+            "noise": ["none", "single", "gaussian"],
+            "noise_us": [0.0, 40.0],
+            "compute_us_per_mb": [0.0, 200.0],
+        },
+    }
+
+
+class TestPatternCampaignFastPath:
+    def test_fast_path_engages_and_matches_per_point(self, tmp_path):
+        """The columns-first pattern campaign must be bit-identical to
+        per-point execution — the tentpole invariant, through the
+        whole store round-trip."""
+        from repro.runner.campaign import _fast_axes_ok
+
+        grid = parse_grid_spec(pattern_spec())
+        assert _fast_axes_ok(grid)
+        store = CampaignStore.create(tmp_path / "camp", grid)
+        summary = run_campaign(store, chunk_points=100)
+        assert summary["executed"] == len(grid)
+        rows = dict(store.iter_rows())
+        assert len(rows) == len(grid)
+        stride = max(1, len(grid) // 23)
+        for index in range(0, len(grid), stride):
+            native = execute(store.scenario_at(index))
+            assert rows[index]["times"] == [float(t) for t in native.times]
+            assert rows[index]["n_links"] == native.n_links
+            assert (
+                rows[index]["bytes_per_iteration"]
+                == native.bytes_per_iteration
+            )
+
+    def test_fast_and_config_paths_identical(self):
+        """Both analytic pattern chunk builders produce the same
+        columns, so the fast-path gate is purely a speed choice."""
+        from repro.runner.campaign import (
+            _pattern_columns,
+            _pattern_fast_columns,
+        )
+
+        grid = parse_grid_spec(pattern_spec())
+        assert _pattern_fast_columns(grid, 0, 97) == _pattern_columns(
+            grid, 0, 97
+        )
+        tail = len(grid) - 50
+        assert _pattern_fast_columns(grid, tail, len(grid)) == (
+            _pattern_columns(grid, tail, len(grid))
+        )
+
+    def test_fast_gate_covers_every_scalar_pattern_field(self):
+        """Every PatternConfig field a grid axis can legally carry is
+        either a kernel column or provably ignorable, so the fast path
+        engages for any valid pattern grid (the config-path fallback
+        stays as a safety net only)."""
+        import dataclasses
+
+        from repro.apps.base import PatternConfig
+        from repro.model.vector import PATTERN_COLUMN_FIELDS
+        from repro.runner.campaign import _IGNORABLE_AXES
+
+        scalar_fields = {
+            f.name
+            for f in dataclasses.fields(PatternConfig)
+            if f.name not in ("params", "cvars")  # never JSON-scalar axes
+        }
+        covered = set(PATTERN_COLUMN_FIELDS) | _IGNORABLE_AXES["pattern"]
+        assert scalar_fields <= covered
+
+    def test_kernel_columns_decode(self):
+        import numpy as np
+
+        grid = parse_grid_spec(pattern_spec())
+        indices = np.array([0, 11, 101, len(grid) - 1])
+        columns = grid.kernel_columns(
+            indices,
+            ("pattern", "approach", "msg_bytes", "n_ranks", "noise"),
+            categorical=("pattern", "approach", "noise"),
+        )
+        assert columns["n_ranks"] == 8  # base scalar passthrough
+        for j, i in enumerate(indices):
+            assignment = grid.assignment_at(int(i))
+            for name in ("pattern", "approach", "noise"):
+                values, codes = columns[name]
+                assert values[codes[j]] == assignment[name]
+            assert columns["msg_bytes"][j] == assignment["msg_bytes"]
+
+    def test_kernel_columns_out_of_range(self):
+        grid = parse_grid_spec(pattern_spec())
+        with pytest.raises(IndexError):
+            grid.kernel_columns([len(grid)], ("pattern",))
+
+
+class TestGzipSegments:
+    def test_gzip_campaign_round_trips(self, tmp_path):
+        grid = parse_grid_spec(analytic_spec())
+        plain = CampaignStore.create(tmp_path / "plain", grid)
+        run_campaign(plain, chunk_points=40)
+        gz = CampaignStore.create(
+            tmp_path / "gz", grid, compression="gzip"
+        )
+        run_campaign(gz, chunk_points=40)
+        assert gz.compression == "gzip"
+        seg_files = list((tmp_path / "gz" / "segments").glob("*"))
+        assert seg_files
+        assert all(p.name.endswith(".jsonl.gz") for p in seg_files)
+        assert dict(gz.iter_rows()) == dict(plain.iter_rows())
+        plain_bytes = sum(
+            p.stat().st_size
+            for p in (tmp_path / "plain" / "segments").glob("*")
+        )
+        gz_bytes = sum(p.stat().st_size for p in seg_files)
+        assert gz_bytes < plain_bytes
+
+    def test_gzip_resume_from_segments(self, tmp_path):
+        grid = parse_grid_spec(analytic_spec())
+        store = CampaignStore.create(
+            tmp_path / "camp", grid, compression="gzip"
+        )
+        run_campaign(store, chunk_points=64)
+        (tmp_path / "camp" / "index.json").unlink()
+        reopened = CampaignStore.open(tmp_path / "camp")
+        assert reopened.n_completed == len(grid)
+        assert run_campaign(reopened)["executed"] == 0
+
+    def test_compact_compress_migrates_in_place(self, tmp_path):
+        grid = parse_grid_spec(analytic_spec())
+        store = CampaignStore.create(tmp_path / "camp", grid)
+        run_campaign(store, chunk_points=40)
+        before = dict(store.iter_rows())
+        summary = store.compact(compress=True)
+        assert summary["points"] == len(grid)
+        assert store.compression == "gzip"  # future appends inherit
+        assert all(
+            p.name.endswith(".jsonl.gz")
+            for p in (tmp_path / "camp" / "segments").glob("*")
+        )
+        assert dict(store.iter_rows()) == before
+        # and the header survives a fresh open
+        assert CampaignStore.open(tmp_path / "camp").compression == "gzip"
+
+    def test_unknown_compression_rejected(self, tmp_path):
+        grid = parse_grid_spec(analytic_spec())
+        with pytest.raises(ValueError):
+            CampaignStore.create(
+                tmp_path / "camp", grid, compression="zstd"
+            )
+
+    def test_truncated_gzip_segment_is_ignored_not_fatal(self, tmp_path):
+        """rebuild_index is the repair tool for damaged roots: a
+        truncated .jsonl.gz (gzip raises EOFError, not OSError) must
+        land in 'ignored' like any unreadable file, never crash."""
+        grid = parse_grid_spec(analytic_spec())
+        store = CampaignStore.create(
+            tmp_path / "camp", grid, compression="gzip"
+        )
+        run_campaign(store, chunk_points=40)
+        victim = sorted((tmp_path / "camp" / "segments").glob("*.gz"))[0]
+        victim.write_bytes(victim.read_bytes()[:20])  # mid-stream cut
+        (tmp_path / "camp" / "index.json").unlink()
+        reopened = CampaignStore.open(tmp_path / "camp")
+        index = json.loads(
+            (tmp_path / "camp" / "index.json").read_text()
+        )
+        assert str(victim.relative_to(tmp_path / "camp")) in index["ignored"]
+        # the rest of the store stays usable; the lost range reruns
+        assert reopened.n_completed == len(grid) - 40
+        assert run_campaign(reopened)["executed"] == 40
+
+    def test_resume_keeps_existing_compression(self, tmp_path):
+        grid = parse_grid_spec(analytic_spec())
+        CampaignStore.create(tmp_path / "camp", grid, compression="gzip")
+        again = CampaignStore.create(
+            tmp_path / "camp", grid, compression="none"
+        )
+        assert again.compression == "gzip"
+
+
+class TestSubmitAheadPipeline:
+    def sim_grid(self):
+        return parse_grid_spec(
+            {
+                "kind": "bench",
+                "backend": "sim",
+                "base": {"n_threads": 2, "theta": 1, "iterations": 2},
+                "axes": {
+                    "approach": ["pt2pt_single", "pt2pt_part"],
+                    "total_bytes": [1024, 16384, 65536],
+                },
+            }
+        )
+
+    @staticmethod
+    def store_bytes(root):
+        """(name, bytes) of every segment plus the index, the
+        byte-identity fingerprint."""
+        segments = [
+            (p.name, p.read_bytes())
+            for p in sorted((root / "segments").glob("*"))
+        ]
+        index = json.loads((root / "index.json").read_text())
+        return segments, index
+
+    def test_pipelined_store_byte_identical_to_sequential(self, tmp_path):
+        """The acceptance invariant: same segments, same index, byte
+        for byte, whether chunks run sequentially in-process or
+        through the submit-ahead pool pipeline."""
+        grid = self.sim_grid()
+        serial = CampaignStore.create(tmp_path / "serial", grid)
+        run_campaign(serial, jobs=1, chunk_points=2)
+        piped = CampaignStore.create(tmp_path / "piped", grid)
+        summary = run_campaign(
+            piped, jobs=2, chunk_points=2, pool="always", submit_ahead=3
+        )
+        assert summary["executed"] == len(grid)
+        assert self.store_bytes(tmp_path / "serial") == self.store_bytes(
+            tmp_path / "piped"
+        )
+
+    def test_submit_ahead_serial_fallback_matches(self, tmp_path):
+        """On a single-CPU box the auto policy pipelines serially —
+        still the same bytes."""
+        grid = self.sim_grid()
+        a = CampaignStore.create(tmp_path / "a", grid)
+        run_campaign(a, jobs=1, chunk_points=4)
+        b = CampaignStore.create(tmp_path / "b", grid)
+        run_campaign(b, jobs=4, chunk_points=4, pool="auto", submit_ahead=8)
+        assert self.store_bytes(tmp_path / "a") == self.store_bytes(
+            tmp_path / "b"
+        )
+
+    def test_pipelined_read_through_cache(self, tmp_path):
+        """Warm points are served from loose rows at submission time;
+        the pipelined consumer still writes full ordered chunks."""
+        grid = self.sim_grid()
+        v1 = ResultStore(tmp_path / "v1")
+        run_scenarios(grid.expand()[:3], jobs=1, store=v1)
+        store = CampaignStore.create(tmp_path / "camp", grid, fallback=v1)
+        summary = run_campaign(
+            store, jobs=2, chunk_points=2, pool="always", submit_ahead=2
+        )
+        assert summary["cached"] == 3
+        assert summary["executed"] == len(grid) - 3
+        assert store.n_completed == len(grid)
+
+    def test_pipelined_respects_limit(self, tmp_path):
+        grid = self.sim_grid()
+        store = CampaignStore.create(tmp_path / "camp", grid)
+        summary = run_campaign(
+            store, jobs=2, chunk_points=2, pool="always",
+            submit_ahead=4, limit=3,
+        )
+        assert summary["executed"] == 3
+        assert store.n_completed == 3
+
+    def test_default_chunking_feeds_every_worker(self, tmp_path):
+        """A chunk is one pool task, so the default sizing must
+        produce several chunks per worker (not one giant chunk that
+        would idle the rest of the pool)."""
+        grid = self.sim_grid()  # 6 points
+        store = CampaignStore.create(tmp_path / "camp", grid)
+        summary = run_campaign(store, jobs=2, pool="always")
+        # auto_chunk_size(6, 2) == 1 -> one chunk per point
+        assert summary["chunks"] == len(grid)
+        assert store.n_completed == len(grid)
+
+    def test_fully_warm_campaign_forks_no_pool(self, tmp_path, monkeypatch):
+        """A resume where every point is served read-through must not
+        pay for worker processes."""
+        from repro.runner import executor as executor_module
+
+        grid = self.sim_grid()
+        v1 = ResultStore(tmp_path / "v1")
+        run_scenarios(grid.expand(), jobs=1, store=v1)
+
+        def forbidden_pool(*args, **kwargs):
+            raise AssertionError("pool forked for an all-warm campaign")
+
+        monkeypatch.setattr(
+            executor_module.multiprocessing, "Pool", forbidden_pool
+        )
+        store = CampaignStore.create(tmp_path / "camp", grid, fallback=v1)
+        summary = run_campaign(
+            store, jobs=2, chunk_points=2, pool="always", submit_ahead=4
+        )
+        assert summary["cached"] == len(grid)
+        assert summary["executed"] == 0
+        assert store.n_completed == len(grid)
 
 
 class TestSimCampaignAndMigration:

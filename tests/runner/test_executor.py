@@ -41,6 +41,63 @@ def mixed_grid():
     return bench.expand() + pattern.expand()
 
 
+class TestIterChunkResults:
+    """The campaign submit-ahead pipeline primitive: ordered delivery,
+    pooled-equals-serial, lazy payload consumption."""
+
+    def payload_chunks(self, scenarios, chunk):
+        return [
+            [s.to_dict() for s in scenarios[i:i + chunk]]
+            for i in range(0, len(scenarios), chunk)
+        ]
+
+    def test_pooled_matches_serial_in_order(self):
+        from repro.runner.executor import iter_chunk_results
+
+        scenarios = mixed_grid()[:6]
+        chunks = self.payload_chunks(scenarios, 2)
+        serial = list(
+            iter_chunk_results(iter(chunks), workers=1, window=2,
+                               use_pool=False)
+        )
+        pooled = list(
+            iter_chunk_results(iter(chunks), workers=2, window=2,
+                               use_pool=True)
+        )
+        assert serial == pooled
+        assert len(serial) == len(chunks)
+
+    def test_lazy_submission_is_window_bounded(self):
+        from repro.runner.executor import iter_chunk_results
+
+        scenarios = mixed_grid()[:6]
+        chunks = self.payload_chunks(scenarios, 1)
+        pulled = []
+
+        def tracking():
+            for i, chunk in enumerate(chunks):
+                pulled.append(i)
+                yield chunk
+
+        results = iter_chunk_results(
+            tracking(), workers=2, window=2, use_pool=True
+        )
+        first = next(results)
+        # With a window of 2, taking the first result cannot have
+        # forced the whole stream to be materialized.
+        assert len(pulled) < len(chunks)
+        rest = list(results)
+        assert len(rest) == len(chunks) - 1
+        assert first is not None
+
+    def test_empty_stream(self):
+        from repro.runner.executor import iter_chunk_results
+
+        assert list(
+            iter_chunk_results(iter([]), workers=2, window=4)
+        ) == []
+
+
 class TestDeterminism:
     def test_parallel_identical_to_serial(self):
         scenarios = mixed_grid()

@@ -1,0 +1,79 @@
+"""Shared store I/O helpers: atomic writes, gzip transparency, the
+path-or-handle JSONL contract."""
+
+import gzip
+import io
+import json
+
+import pytest
+
+from repro.runner.io import atomic_write_text, open_segment_text, write_jsonl
+
+
+class TestAtomicWrite:
+    def test_writes_and_creates_parents(self, tmp_path):
+        target = tmp_path / "a" / "b" / "file.txt"
+        atomic_write_text(target, "hello\n")
+        assert target.read_text() == "hello\n"
+
+    def test_replaces_whole_file(self, tmp_path):
+        target = tmp_path / "file.txt"
+        atomic_write_text(target, "first version, long content\n")
+        atomic_write_text(target, "v2\n")
+        assert target.read_text() == "v2\n"
+
+    def test_no_temp_litter(self, tmp_path):
+        target = tmp_path / "file.txt"
+        atomic_write_text(target, "x\n")
+        assert [p.name for p in tmp_path.iterdir()] == ["file.txt"]
+
+    def test_gzip_bytes_deterministic(self, tmp_path):
+        """Identical text must give identical compressed bytes (mtime
+        pinned to 0) — the campaign byte-identity invariant."""
+        a, b = tmp_path / "a.gz", tmp_path / "b.gz"
+        atomic_write_text(a, "same text\n", compress=True)
+        atomic_write_text(b, "same text\n", compress=True)
+        assert a.read_bytes() == b.read_bytes()
+        assert gzip.decompress(a.read_bytes()) == b"same text\n"
+
+
+class TestOpenSegmentText:
+    def test_plain_and_gzip_read_identically(self, tmp_path):
+        plain = tmp_path / "seg.jsonl"
+        gz = tmp_path / "seg.jsonl.gz"
+        atomic_write_text(plain, "line1\nline2\n")
+        atomic_write_text(gz, "line1\nline2\n", compress=True)
+        with open_segment_text(plain) as h:
+            plain_lines = h.readlines()
+        with open_segment_text(gz) as h:
+            gz_lines = h.readlines()
+        assert plain_lines == gz_lines == ["line1\n", "line2\n"]
+
+    def test_corrupt_gzip_raises_oserror(self, tmp_path):
+        bad = tmp_path / "seg.jsonl.gz"
+        bad.write_bytes(b"not gzip at all")
+        with pytest.raises(OSError):
+            with open_segment_text(bad) as h:
+                h.readline()
+
+
+class TestWriteJsonl:
+    RECORDS = [{"b": 2, "a": 1}, {"x": [1, 2]}]
+
+    def test_path_target(self, tmp_path):
+        target = tmp_path / "out" / "dump.jsonl"
+        assert write_jsonl(target, self.RECORDS) == 2
+        lines = target.read_text().splitlines()
+        assert json.loads(lines[0]) == {"a": 1, "b": 2}
+        assert lines[0] == '{"a":1,"b":2}'  # sorted, compact
+
+    def test_handle_target_left_open(self):
+        buffer = io.StringIO()
+        assert write_jsonl(buffer, self.RECORDS) == 2
+        assert not buffer.closed
+        assert len(buffer.getvalue().splitlines()) == 2
+
+    def test_custom_encoder(self):
+        buffer = io.StringIO()
+        write_jsonl(buffer, [[1, 2.5]], encode=lambda r: repr(r))
+        assert buffer.getvalue() == "[1, 2.5]\n"

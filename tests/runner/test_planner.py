@@ -9,7 +9,12 @@ from repro.runner import (
     run_scenarios,
     scenario_for,
 )
-from repro.runner.planner import MAX_CHUNK_POINTS, auto_chunk_size
+from repro.runner.planner import (
+    MAX_CHUNK_POINTS,
+    auto_chunk_size,
+    auto_submit_window,
+    pool_workers,
+)
 
 
 def bench_scenarios(n, backend="sim"):
@@ -104,6 +109,47 @@ class TestPlanning:
     def test_unknown_policy_rejected(self):
         with pytest.raises(ValueError):
             plan_execution(bench_scenarios(2), range(2), jobs=1, pool="bogus")
+
+
+class TestPoolWorkers:
+    """The whole-campaign pool decision mirrors plan_execution's
+    per-batch policy exactly."""
+
+    def test_matches_plan_execution_policy(self):
+        scenarios = bench_scenarios(40)
+        for jobs, pool, cpus in [
+            (4, "auto", 8), (4, "auto", 1), (4, "always", 1),
+            (8, "never", 8), (2, "auto", 8),
+        ]:
+            plan = plan_execution(
+                scenarios, range(len(scenarios)), jobs,
+                pool=pool, cpu_count=cpus,
+            )
+            workers, use_pool = pool_workers(
+                len(scenarios), jobs, pool, cpu_count=cpus
+            )
+            assert (workers, use_pool) == (plan.workers, plan.use_pool)
+
+    def test_tiny_workload_serial_fallback(self):
+        workers, use_pool = pool_workers(3, 8, "auto", cpu_count=16)
+        assert workers == 1 and not use_pool
+
+    def test_always_ignores_cpu_count(self):
+        workers, use_pool = pool_workers(40, 4, "always", cpu_count=1)
+        assert workers == 4 and use_pool
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            pool_workers(10, 2, "bogus")
+
+
+class TestAutoSubmitWindow:
+    def test_two_chunks_per_worker(self):
+        assert auto_submit_window(4) == 8
+        assert auto_submit_window(1) == 2
+
+    def test_floor_of_two(self):
+        assert auto_submit_window(0) == 2
 
 
 class TestChunkedExecution:
