@@ -36,4 +36,4 @@ True
 __version__ = "1.1.0"
 
 __all__ = ["sim", "net", "mpi", "threads", "model", "bench", "figures",
-           "apps", "__version__"]
+           "apps", "telemetry", "__version__"]

@@ -47,7 +47,10 @@ Campaigns (streaming schema-v2 store; see README "Campaigns")::
     python -m repro campaign run grid.json --root camp/ --limit 10000
     python -m repro campaign run sim.json --root camp/ --jobs 8 --submit-ahead 16
     python -m repro campaign run grid.json --root camp/ --compress  # .jsonl.gz
+    python -m repro campaign run grid.json --root camp/ --metrics   # telemetry
+    python -m repro campaign profile camp/                   # stage attribution
     python -m repro campaign status camp/                    # coverage
+    python -m repro campaign status camp/ --json             # machine-readable
     python -m repro campaign export camp/ --out points.jsonl
     python -m repro campaign compact camp/                   # merge segments
     python -m repro campaign compact camp/ --compress        # + gzip migration
@@ -501,9 +504,31 @@ def _campaign_parser() -> argparse.ArgumentParser:
     run.add_argument("--fallback-store", default=None, metavar="DIR",
                      help="v1 result store consulted before simulating "
                           "(read-through)")
+    run.add_argument("--metrics", nargs="?", const="auto", default=None,
+                     metavar="PATH",
+                     help="record pipeline telemetry to a metrics JSONL "
+                          "(default path: <root>/metrics.jsonl); render "
+                          "it with 'campaign profile'")
+    run.add_argument("--trace", action="store_true",
+                     help="stream simulator trace records into the "
+                          "metrics file (requires --metrics; forces "
+                          "in-process execution so records reach the "
+                          "sink)")
 
     status = sub.add_parser("status", help="coverage and store health")
     status.add_argument("root", metavar="DIR")
+    status.add_argument("--json", action="store_true",
+                        help="machine-readable status (one JSON object)")
+
+    profile = sub.add_parser(
+        "profile",
+        help="stage-attribution report from a --metrics JSONL",
+    )
+    profile.add_argument("target", metavar="STORE|METRICS",
+                         help="campaign root (holding metrics.jsonl) or "
+                              "a metrics JSONL path")
+    profile.add_argument("--json", action="store_true",
+                         help="emit the attribution as JSON")
 
     export = sub.add_parser(
         "export", help="dump completed points as JSON-lines"
@@ -542,13 +567,76 @@ def _parse_where(clauses):
     return filters
 
 
+def _run_campaign_metered(store, run_campaign_fn, run_kwargs, args) -> dict:
+    """Run a campaign under an active telemetry registry, writing the
+    metrics JSONL (and, with ``--trace``, the streamed simulator trace)
+    when the run finishes — or is interrupted."""
+    from pathlib import Path
+
+    from . import telemetry
+    from .runner.profile import DEFAULT_METRICS_NAME
+
+    metrics_path = (
+        Path(store.root) / DEFAULT_METRICS_NAME
+        if args.metrics == "auto"
+        else Path(args.metrics)
+    )
+    producer = {
+        "tool": "campaign run",
+        "grid_hash": store.header["grid_hash"],
+        "backend": store.header["backend"],
+        "kind": store.header["kind"],
+        "jobs": run_kwargs["jobs"],
+    }
+    registry = telemetry.MetricsRegistry()
+    sink = telemetry.MetricsSink(metrics_path, producer=producer)
+    previous_registry = telemetry.set_registry(registry)
+    # Trace records can only reach the parent's sink from in-process
+    # simulations, so --trace pins the pool policy to "never".
+    previous_sink = telemetry.set_trace_sink(
+        sink.write_trace if args.trace else None
+    )
+    if args.trace:
+        run_kwargs = dict(run_kwargs, pool="never")
+    try:
+        summary = run_campaign_fn(store, **run_kwargs)
+        sink.write_snapshot(registry.snapshot())
+        sink.close(
+            summary={
+                key: summary[key]
+                for key in ("executed", "chunks", "wall_s", "points_per_s")
+                if key in summary
+            }
+        )
+    finally:
+        telemetry.set_registry(previous_registry)
+        telemetry.set_trace_sink(previous_sink)
+        sink.close()
+    print(f"[metrics written to {metrics_path}]")
+    return summary
+
+
 def _run_campaign_cli(args) -> int:
     import json as _json
 
     from .runner import CampaignStore, ResultStore, parse_grid_spec
     from .runner import run_campaign as run_campaign_fn
 
+    if args.action == "profile":
+        from .runner.profile import render_profile, resolve_metrics_path
+
+        try:
+            path = resolve_metrics_path(args.target)
+            print(render_profile(path, as_json=args.json))
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
     if args.action == "run":
+        if args.trace and not args.metrics:
+            print("error: --trace requires --metrics", file=sys.stderr)
+            return 2
         try:
             raw = (
                 sys.stdin.read()
@@ -576,14 +664,20 @@ def _run_campaign_cli(args) -> int:
             return 2
         from .runner import default_jobs
 
-        summary = run_campaign_fn(
-            store,
-            jobs=args.jobs if args.jobs > 0 else default_jobs(),
+        jobs = args.jobs if args.jobs > 0 else default_jobs()
+        run_kwargs = dict(
+            jobs=jobs,
             chunk_points=args.chunk,
             limit=args.limit,
             submit_ahead=args.submit_ahead,
             progress=print,
         )
+        if args.metrics:
+            summary = _run_campaign_metered(
+                store, run_campaign_fn, run_kwargs, args
+            )
+        else:
+            summary = run_campaign_fn(store, **run_kwargs)
         pps = summary["points_per_s"]
         print(
             f"executed {summary['executed']} point(s) in "
@@ -605,6 +699,9 @@ def _run_campaign_cli(args) -> int:
         return 2
     if args.action == "status":
         stats = store.stats()
+        if args.json:
+            print(_json.dumps(stats, indent=2, sort_keys=True))
+            return 0
         print(f"campaign {stats['root']} "
               f"[{stats['kind']}/{stats['backend']}, "
               f"grid {stats['grid_hash'][:12]}]")

@@ -42,6 +42,7 @@ from typing import Any, Dict, List, Mapping, Sequence, Tuple
 import numpy as np
 
 from ..net import SystemParams
+from ..telemetry import span
 from .approaches import (
     _ctrl_path,
     _rendezvous_rtt,
@@ -606,18 +607,19 @@ def bench_times_from_columns(
     approach = columns["approach"]
     if isinstance(approach, str):
         approach = ([approach], np.zeros(n_points, dtype=np.int64))
-    return _dispatch_bench(
-        params,
-        vci_method,
-        approach,
-        col("n_threads", np.int64, 1),
-        col("theta", np.int64, 1),
-        col("total_bytes", np.int64, 0),
-        np.full(n_points, num_vcis, dtype=np.int64),
-        np.full(n_points, part_aggr_size, dtype=np.int64),
-        col("gamma_us_per_mb", np.float64, 0.0),
-        col("gaussian_mu_us_per_mb", np.float64, 0.0),
-    )
+    with span("kernel.eval", kind="bench"):
+        return _dispatch_bench(
+            params,
+            vci_method,
+            approach,
+            col("n_threads", np.int64, 1),
+            col("theta", np.int64, 1),
+            col("total_bytes", np.int64, 0),
+            np.full(n_points, num_vcis, dtype=np.int64),
+            np.full(n_points, part_aggr_size, dtype=np.int64),
+            col("gamma_us_per_mb", np.float64, 0.0),
+            col("gaussian_mu_us_per_mb", np.float64, 0.0),
+        )
 
 
 def bench_batch_times(specs: Sequence[Any]) -> np.ndarray:
@@ -631,6 +633,15 @@ def bench_batch_times(specs: Sequence[Any]) -> np.ndarray:
     for i, spec in enumerate(specs):
         key = (spec.params, spec.cvars.vci_method)
         groups.setdefault(key, []).append(i)
+    with span("kernel.eval", kind="bench"):
+        return _bench_batch_grouped(specs, times, groups)
+
+
+def _bench_batch_grouped(
+    specs: Sequence[Any],
+    times: np.ndarray,
+    groups: Dict[Any, List[int]],
+) -> np.ndarray:
     for (params, vci_method), indices in groups.items():
         sub = [specs[i] for i in indices]
         times[np.array(indices)] = _dispatch_bench(
@@ -960,12 +971,14 @@ def pattern_batch(configs: Sequence[Any]) -> PatternBatch:
     groups: Dict[Any, List[int]] = {}
     for i, config in enumerate(configs):
         groups.setdefault((config.approach, config.params), []).append(i)
-    for (approach, params), indices in groups.items():
-        sub = [configs[i] for i in indices]
-        times[np.array(indices)] = _pattern_group_times(
-            params, approach, sub
-        )
-    topo = [_topology_summary(c) for c in configs]
+    with span("kernel.eval", kind="pattern"):
+        for (approach, params), indices in groups.items():
+            sub = [configs[i] for i in indices]
+            times[np.array(indices)] = _pattern_group_times(
+                params, approach, sub
+            )
+    with span("kernel.topology", kind="pattern"):
+        topo = [_topology_summary(c) for c in configs]
     return PatternBatch(
         times=times,
         bytes_per_iteration=np.array([t[5] for t in topo], dtype=np.int64),
@@ -1019,54 +1032,62 @@ def pattern_times_from_columns(
     msg_bytes = col("msg_bytes", np.int64, 256 << 10)
 
     # One link-graph build per unique geometry; gather to columns.
-    geometry = np.stack(
-        [pattern_codes, n_ranks, n_threads, msg_bytes]
-    )
-    uniq, inverse = np.unique(geometry, axis=1, return_inverse=True)
-    summaries = [
-        _topology_summary_key(
-            pattern_names[int(code)], int(ranks), int(threads), int(size)
+    with span("kernel.topology", kind="pattern"):
+        geometry = np.stack(
+            [pattern_codes, n_ranks, n_threads, msg_bytes]
         )
-        for code, ranks, threads, size in uniq.T
-    ]
-    gathered = np.asarray(summaries, dtype=np.int64)[
-        np.asarray(inverse).reshape(-1)
-    ]
+        uniq, inverse = np.unique(geometry, axis=1, return_inverse=True)
+        summaries = [
+            _topology_summary_key(
+                pattern_names[int(code)], int(ranks), int(threads), int(size)
+            )
+            for code, ranks, threads, size in uniq.T
+        ]
+        gathered = np.asarray(summaries, dtype=np.int64)[
+            np.asarray(inverse).reshape(-1)
+        ]
 
-    cols = _PatternCols(
-        nbytes=gathered[:, 0],
-        max_out=gathered[:, 1],
-        max_in=gathered[:, 2],
-        max_pair_links=gathered[:, 3],
-        depth=gathered[:, 4],
-        n_links=gathered[:, 6],
-        n_threads=n_threads,
-        num_vcis=np.full(n_points, num_vcis, dtype=np.int64),
-        aggr=np.full(n_points, part_aggr_size, dtype=np.int64),
-        compute_rate=col("compute_us_per_mb", np.float64, 0.0),
-        noise_q=_noise_quantum_column(
-            categorical("noise", "none"),
-            col("noise_us", np.float64, 0.0),
-            col("noise_sigma_us", np.float64, 0.0),
-        ),
-    )
-    times = np.empty(n_points, dtype=np.float64)
-    for code, name in enumerate(approach_names):
-        idx = np.nonzero(approach_codes == code)[0]
-        if not idx.size:
-            continue
-        if name not in APPROACH_PREDICTORS:
-            # Same contract as the bench twin: an unknown name must
-            # fail loudly, not fall into the bulk-gated default branch
-            # with a plausible wrong number.
-            raise KeyError(f"no analytic predictor for approach {name!r}")
-        sub = _PatternCols(
-            **{
-                field: getattr(cols, field)[idx]
-                for field in cols.__dataclass_fields__
-            }
+    # Column prep is model work too (the noise-quantum column calls the
+    # scalar model once per unique noise triple) — charged to the
+    # kernel stage so the profile attribution covers it.
+    with span("kernel.eval", kind="pattern"):
+        cols = _PatternCols(
+            nbytes=gathered[:, 0],
+            max_out=gathered[:, 1],
+            max_in=gathered[:, 2],
+            max_pair_links=gathered[:, 3],
+            depth=gathered[:, 4],
+            n_links=gathered[:, 6],
+            n_threads=n_threads,
+            num_vcis=np.full(n_points, num_vcis, dtype=np.int64),
+            aggr=np.full(n_points, part_aggr_size, dtype=np.int64),
+            compute_rate=col("compute_us_per_mb", np.float64, 0.0),
+            noise_q=_noise_quantum_column(
+                categorical("noise", "none"),
+                col("noise_us", np.float64, 0.0),
+                col("noise_sigma_us", np.float64, 0.0),
+            ),
         )
-        times[idx] = _pattern_times_cols(params, name, sub)
+    times = np.empty(n_points, dtype=np.float64)
+    with span("kernel.eval", kind="pattern"):
+        for code, name in enumerate(approach_names):
+            idx = np.nonzero(approach_codes == code)[0]
+            if not idx.size:
+                continue
+            if name not in APPROACH_PREDICTORS:
+                # Same contract as the bench twin: an unknown name must
+                # fail loudly, not fall into the bulk-gated default
+                # branch with a plausible wrong number.
+                raise KeyError(
+                    f"no analytic predictor for approach {name!r}"
+                )
+            sub = _PatternCols(
+                **{
+                    field: getattr(cols, field)[idx]
+                    for field in cols.__dataclass_fields__
+                }
+            )
+            times[idx] = _pattern_times_cols(params, name, sub)
     return PatternBatch(
         times=times,
         bytes_per_iteration=gathered[:, 5],

@@ -29,8 +29,16 @@ from __future__ import annotations
 
 from typing import Dict, Generator, List, Optional, Tuple
 
+from .. import telemetry
 from ..net import MELUXINA, Fabric, Nic, SystemParams
-from ..sim import Environment, NullTracer, Process, RngRegistry, Tracer
+from ..sim import (
+    Environment,
+    NullTracer,
+    Process,
+    RngRegistry,
+    StreamingTracer,
+    Tracer,
+)
 from .communicator import Comm
 from .cvars import Cvars
 from .runtime import RankRuntime
@@ -69,9 +77,18 @@ class MPIWorld:
         self.params = params
         self.cvars = cvars if cvars is not None else Cvars()
         self.rng = RngRegistry(seed)
-        self.tracer = (
-            Tracer(self.env) if trace else NullTracer(self.env)
-        )
+        # When a telemetry trace sink is registered (``campaign run
+        # --trace``), stream records straight to it instead of
+        # accumulating them in memory — long simulations then trace in
+        # O(1) memory.  An explicit ``trace=True`` without a sink keeps
+        # the classic in-memory Tracer (tests inspect ``.records``).
+        sink = telemetry.trace_sink()
+        if sink is not None:
+            self.tracer: Tracer = StreamingTracer(self.env, sink)
+        elif trace:
+            self.tracer = Tracer(self.env)
+        else:
+            self.tracer = NullTracer(self.env)
         self.fabric = Fabric(self.env, params, self.tracer)
         self.ranks: List[RankRuntime] = []
         for r in range(n_ranks):

@@ -48,6 +48,7 @@ from .executor import (
     run_specs,
 )
 from .planner import Chunk, ExecutionPlan, plan_execution
+from .profile import Attribution, build_attribution, render_profile
 from .scenario import (
     DEFAULT_BACKEND,
     SCHEMA,
@@ -78,6 +79,9 @@ __all__ = [
     "Chunk",
     "ExecutionPlan",
     "plan_execution",
+    "Attribution",
+    "build_attribution",
+    "render_profile",
     "run_scenarios",
     "run_specs",
     "default_jobs",

@@ -54,6 +54,8 @@ from typing import (
     Tuple,
 )
 
+from .. import telemetry
+from ..telemetry import span
 from .io import atomic_write_text, open_segment_text, write_jsonl
 from .scenario import (
     GRID_SCHEMA,
@@ -357,15 +359,16 @@ class CampaignStore:
         loose: List[dict],
         ignored: Sequence[str] = (),
     ) -> None:
-        atomic_write_text(
-            self.root / "index.json",
-            json.dumps(
-                self._index_payload(segments, loose, ignored),
-                sort_keys=True,
-                indent=1,
+        with span("store.index"):
+            atomic_write_text(
+                self.root / "index.json",
+                json.dumps(
+                    self._index_payload(segments, loose, ignored),
+                    sort_keys=True,
+                    indent=1,
+                )
+                + "\n",
             )
-            + "\n",
-        )
 
     def _index(self) -> dict:
         index = self._read_index()
@@ -513,14 +516,21 @@ class CampaignStore:
             "ranges": [[int(s), int(e)] for s, e in ranges],
             "count": int(count),
         }
-        lines = [json.dumps(header, sort_keys=True)]
-        lines.extend(body_lines)
+        with span("store.encode"):
+            lines = [json.dumps(header, sort_keys=True)]
+            lines.extend(body_lines)
+            text = "\n".join(lines) + "\n"
         target = self.root / name
-        atomic_write_text(
-            target,
-            "\n".join(lines) + "\n",
-            compress=compression == COMPRESSION_GZIP,
-        )
+        with span("store.write"):
+            atomic_write_text(
+                target,
+                text,
+                compress=compression == COMPRESSION_GZIP,
+            )
+        if telemetry.active_registry() is not None:
+            telemetry.count("store.segments_written")
+            telemetry.count("store.bytes_encoded", len(text))
+            telemetry.count("store.bytes_written", target.stat().st_size)
         entry = {
             "file": name,
             "ranges": header["ranges"],
@@ -558,8 +568,10 @@ class CampaignStore:
         """
         index = self._index()
         segments = list(index["segments"])
+        with span("store.encode"):
+            body_lines = self._encode_rows(rows, encoding)
         target, entry = self._write_segment(
-            self._encode_rows(rows, encoding), encoding, ranges,
+            body_lines, encoding, ranges,
             len(rows), backend, segments,
         )
         segments.append(entry)
@@ -589,8 +601,10 @@ class CampaignStore:
             raise ValueError(f"not a columnar encoding: {encoding!r}")
         index = self._index()
         segments = list(index["segments"])
+        with span("store.encode"):
+            body_lines = [json.dumps(list(column)) for column in columns]
         target, entry = self._write_segment(
-            [json.dumps(list(column)) for column in columns],
+            body_lines,
             encoding, [(start, stop)], int(stop) - int(start),
             backend, segments,
         )
@@ -796,6 +810,7 @@ class CampaignStore:
             "segments": len(index["segments"]),
             "loose_rows": sum(e["count"] for e in index["loose"]),
             "total_bytes": total_bytes,
+            "compression": self.compression,
         }
 
     # -- v1 interop ----------------------------------------------------------
@@ -919,12 +934,13 @@ def _bench_fast_columns(
     from ..mpi import Cvars
     from ..net import MELUXINA
 
-    indices = np.arange(start, stop, dtype=np.int64)
-    # The approach column is factorized straight from the grid digits:
-    # no string materialization or hashing over the chunk.
-    columns = grid.kernel_columns(
-        indices, BENCH_COLUMN_FIELDS, categorical=("approach",)
-    )
+    with span("campaign.decode"):
+        indices = np.arange(start, stop, dtype=np.int64)
+        # The approach column is factorized straight from the grid
+        # digits: no string materialization or hashing over the chunk.
+        columns = grid.kernel_columns(
+            indices, BENCH_COLUMN_FIELDS, categorical=("approach",)
+        )
     params = grid.base.get("params", MELUXINA)
     cvars = grid.base.get("cvars") or Cvars()
     times = bench_times_from_columns(
@@ -935,7 +951,8 @@ def _bench_fast_columns(
         columns,
         len(indices),
     )
-    return [times.tolist()]
+    with span("store.encode"):
+        return [times.tolist()]
 
 
 def _pattern_fast_columns(
@@ -954,12 +971,13 @@ def _pattern_fast_columns(
     from ..mpi import Cvars
     from ..net import MELUXINA
 
-    indices = np.arange(start, stop, dtype=np.int64)
-    columns = grid.kernel_columns(
-        indices,
-        PATTERN_COLUMN_FIELDS,
-        categorical=("pattern", "approach", "noise"),
-    )
+    with span("campaign.decode"):
+        indices = np.arange(start, stop, dtype=np.int64)
+        columns = grid.kernel_columns(
+            indices,
+            PATTERN_COLUMN_FIELDS,
+            categorical=("pattern", "approach", "noise"),
+        )
     params = grid.base.get("params", MELUXINA)
     cvars = grid.base.get("cvars") or Cvars()
     batch = pattern_times_from_columns(
@@ -969,11 +987,12 @@ def _pattern_fast_columns(
         columns,
         len(indices),
     )
-    return [
-        batch.times.tolist(),
-        batch.bytes_per_iteration.tolist(),
-        batch.n_links.tolist(),
-    ]
+    with span("store.encode"):
+        return [
+            batch.times.tolist(),
+            batch.bytes_per_iteration.tolist(),
+            batch.n_links.tolist(),
+        ]
 
 
 def _pattern_columns(grid: ScenarioGrid, start: int, stop: int) -> List[list]:
@@ -981,13 +1000,15 @@ def _pattern_columns(grid: ScenarioGrid, start: int, stop: int) -> List[list]:
     the column kernel): configs -> vectorized kernel -> columns."""
     from ..model.vector import pattern_batch
 
-    configs = [grid.scenario_at(i).spec for i in range(start, stop)]
+    with span("campaign.materialize"):
+        configs = [grid.scenario_at(i).spec for i in range(start, stop)]
     batch = pattern_batch(configs)
-    return [
-        batch.times.tolist(),
-        batch.bytes_per_iteration.tolist(),
-        batch.n_links.tolist(),
-    ]
+    with span("store.encode"):
+        return [
+            batch.times.tolist(),
+            batch.bytes_per_iteration.tolist(),
+            batch.n_links.tolist(),
+        ]
 
 
 def _chunk_ranges(
@@ -1063,90 +1084,108 @@ def run_campaign(
         and _fast_axes_ok(grid)
     )
 
+    # Planner decisions become observables: the profile report shows
+    # them beside the stage attribution they produced.
+    if telemetry.active_registry() is not None:
+        telemetry.gauge("planner.workers", workers)
+        telemetry.gauge("planner.use_pool", int(use_pool))
+        telemetry.gauge("planner.chunk_points", chunk_points)
+        telemetry.gauge("campaign.fast_path", int(fast))
+
     t0 = time.perf_counter()
     executed = 0
     cached = 0
     chunks = 0
 
-    def note_chunk() -> None:
+    def note_chunk(points: int) -> None:
         nonlocal chunks
         chunks += 1
+        telemetry.count("campaign.chunks")
+        telemetry.count("campaign.points", points)
         if progress is not None:
             progress(
                 f"[campaign] {store.n_completed}/{store.n_points} "
                 f"points ({chunks} chunk(s) this run)"
             )
 
-    if backend.inline:
-        for start, stop in _chunk_ranges(store, chunk_points, limit):
-            if fast and grid.kind == KIND_BENCH:
-                store.append_columns(
-                    start, stop, _bench_fast_columns(grid, start, stop),
-                    ENC_BENCH_COLS, backend=grid.backend,
-                )
-            elif grid.kind == KIND_PATTERN and grid.backend == "analytic":
-                columns_for = (
-                    _pattern_fast_columns if fast else _pattern_columns
-                )
-                store.append_columns(
-                    start, stop, columns_for(grid, start, stop),
-                    ENC_PATTERN_COLS, backend=grid.backend,
-                )
-            else:
-                scenarios = [
-                    grid.scenario_at(i) for i in range(start, stop)
-                ]
-                results = backend.run_batch(scenarios)
-                rows = [
-                    [start + j, result_to_dict(scenarios[j], results[j])]
-                    for j in range(len(scenarios))
-                ]
+    run_span = span("campaign.run", backend=grid.backend, kind=grid.kind)
+    with run_span:
+        if backend.inline:
+            for start, stop in _chunk_ranges(store, chunk_points, limit):
+                if fast and grid.kind == KIND_BENCH:
+                    store.append_columns(
+                        start, stop, _bench_fast_columns(grid, start, stop),
+                        ENC_BENCH_COLS, backend=grid.backend,
+                    )
+                elif grid.kind == KIND_PATTERN and grid.backend == "analytic":
+                    columns_for = (
+                        _pattern_fast_columns if fast else _pattern_columns
+                    )
+                    store.append_columns(
+                        start, stop, columns_for(grid, start, stop),
+                        ENC_PATTERN_COLS, backend=grid.backend,
+                    )
+                else:
+                    with span("campaign.materialize"):
+                        scenarios = [
+                            grid.scenario_at(i) for i in range(start, stop)
+                        ]
+                    results = backend.run_batch(scenarios)
+                    rows = [
+                        [start + j, result_to_dict(scenarios[j], results[j])]
+                        for j in range(len(scenarios))
+                    ]
+                    store.append_chunk(
+                        rows, ENC_RESULT, [(start, stop)],
+                        backend=grid.backend,
+                    )
+                executed += stop - start
+                note_chunk(stop - start)
+        else:
+            window = (
+                auto_submit_window(workers)
+                if submit_ahead is None
+                else max(1, int(submit_ahead))
+            )
+            telemetry.gauge("planner.submit_window", window)
+            # Chunk metadata travels beside the payload stream: the
+            # generator appends each chunk's meta as it is submitted,
+            # the ordered consumer pops it back — the deque never holds
+            # more than the in-flight window.
+            meta_q: deque = deque()
+
+            def payload_chunks():
+                for start, stop in _chunk_ranges(store, chunk_points, limit):
+                    with span("campaign.materialize"):
+                        scenarios = [
+                            grid.scenario_at(i) for i in range(start, stop)
+                        ]
+                        rows: List[list] = []
+                        cold: List[int] = []
+                        for j, scenario in enumerate(scenarios):
+                            warm = store.load_dict(scenario)
+                            if warm is not None:
+                                rows.append([start + j, warm])
+                            else:
+                                cold.append(j)
+                        payloads = [scenarios[j].to_dict() for j in cold]
+                    meta_q.append((start, stop, rows, cold))
+                    yield payloads
+
+            for result_dicts in iter_chunk_results(
+                payload_chunks(), workers, window, use_pool
+            ):
+                start, stop, rows, cold = meta_q.popleft()
+                for j, result_dict in zip(cold, result_dicts):
+                    rows.append([start + j, result_dict])
+                rows.sort(key=lambda row: row[0])
                 store.append_chunk(
                     rows, ENC_RESULT, [(start, stop)], backend=grid.backend
                 )
-            executed += stop - start
-            note_chunk()
-    else:
-        window = (
-            auto_submit_window(workers)
-            if submit_ahead is None
-            else max(1, int(submit_ahead))
-        )
-        # Chunk metadata travels beside the payload stream: the
-        # generator appends each chunk's meta as it is submitted, the
-        # ordered consumer pops it back — the deque never holds more
-        # than the in-flight window.
-        meta_q: deque = deque()
-
-        def payload_chunks():
-            for start, stop in _chunk_ranges(store, chunk_points, limit):
-                scenarios = [
-                    grid.scenario_at(i) for i in range(start, stop)
-                ]
-                rows: List[list] = []
-                cold: List[int] = []
-                for j, scenario in enumerate(scenarios):
-                    warm = store.load_dict(scenario)
-                    if warm is not None:
-                        rows.append([start + j, warm])
-                    else:
-                        cold.append(j)
-                meta_q.append((start, stop, rows, cold))
-                yield [scenarios[j].to_dict() for j in cold]
-
-        for result_dicts in iter_chunk_results(
-            payload_chunks(), workers, window, use_pool
-        ):
-            start, stop, rows, cold = meta_q.popleft()
-            for j, result_dict in zip(cold, result_dicts):
-                rows.append([start + j, result_dict])
-            rows.sort(key=lambda row: row[0])
-            store.append_chunk(
-                rows, ENC_RESULT, [(start, stop)], backend=grid.backend
-            )
-            cached += (stop - start) - len(cold)
-            executed += len(cold)
-            note_chunk()
+                cached += (stop - start) - len(cold)
+                executed += len(cold)
+                telemetry.count("campaign.points_cached", (stop - start) - len(cold))
+                note_chunk(len(cold))
 
     wall = time.perf_counter() - t0
     return {

@@ -37,10 +37,10 @@ import json
 import platform
 import shutil
 import tempfile
-import time
 from pathlib import Path
 from typing import Optional
 
+from ..telemetry import environment_provenance, stopwatch
 from .campaign import CAMPAIGN_SCHEMA, CampaignStore, parse_grid_spec, run_campaign
 
 __all__ = [
@@ -159,10 +159,9 @@ def _benchmark_bench(work: Path, n_sizes: int) -> dict:
     warm = grid.scenario_at(0)
     result_to_dict(warm, execute(warm))
 
-    t0 = time.perf_counter()
-    store = CampaignStore.create(work / "store", grid)
-    summary = run_campaign(store)
-    batched_wall = time.perf_counter() - t0
+    with stopwatch() as batched:
+        store = CampaignStore.create(work / "store", grid)
+        summary = run_campaign(store)
     if summary["executed"] != len(grid):
         raise RuntimeError(
             f"campaign root {work / 'store'} already held "
@@ -182,23 +181,21 @@ def _benchmark_bench(work: Path, n_sizes: int) -> dict:
         grid.scenario_at(i) for i in range(0, len(grid), stride)
     ]
     v1_store = ResultStore(work / "v1-store")
-    t0 = time.perf_counter()
-    for scenario in sample:
-        v1_store.put_dict(
-            scenario, result_to_dict(scenario, execute(scenario))
-        )
-    pipeline_wall = time.perf_counter() - t0
-    pipeline_pps = len(sample) / pipeline_wall
+    with stopwatch() as pipeline:
+        for scenario in sample:
+            v1_store.put_dict(
+                scenario, result_to_dict(scenario, execute(scenario))
+            )
+    pipeline_pps = len(sample) / pipeline.wall
 
-    t0 = time.perf_counter()
     per_point = 0
-    for _, scenario in grid.points():
-        result_to_dict(scenario, execute(scenario))
-        per_point += 1
-    execute_wall = time.perf_counter() - t0
-    execute_pps = per_point / execute_wall
+    with stopwatch() as execute_only:
+        for _, scenario in grid.points():
+            result_to_dict(scenario, execute(scenario))
+            per_point += 1
+    execute_pps = per_point / execute_only.wall
 
-    batched_pps = len(grid) / batched_wall
+    batched_pps = len(grid) / batched.wall
     return {
         "schema": _SCHEMA,
         #: Provenance: these are model evaluations, never measurements.
@@ -207,8 +204,9 @@ def _benchmark_bench(work: Path, n_sizes: int) -> dict:
         "grid": campaign_grid_spec(n_sizes),
         "n_points": len(grid),
         "python": platform.python_version(),
+        "env": environment_provenance(),
         "batched": {
-            "wall_s": round(batched_wall, 4),
+            "wall_s": round(batched.wall, 4),
             "points_per_s": round(batched_pps, 1),
             "chunks": summary["chunks"],
             "segments": store_stats["segments"],
@@ -218,13 +216,13 @@ def _benchmark_bench(work: Path, n_sizes: int) -> dict:
             "description": "one Backend.run() + one content-hashed JSON "
                            "file per point (v1 ResultStore), sampled",
             "sample_points": len(sample),
-            "wall_s": round(pipeline_wall, 4),
+            "wall_s": round(pipeline.wall, 4),
             "points_per_s": round(pipeline_pps, 1),
             "projected_wall_s": round(len(grid) / pipeline_pps, 1),
         },
         "per_point_execute_only": {
             "description": "bare execute() + result_to_dict, no store",
-            "wall_s": round(execute_wall, 4),
+            "wall_s": round(execute_only.wall, 4),
             "points_per_s": round(execute_pps, 1),
         },
         "speedup": round(batched_pps / pipeline_pps, 1),
@@ -247,10 +245,9 @@ def _benchmark_pattern(work: Path, n_sizes: int) -> dict:
     # process may have warmed some geometries via the baselines of a
     # previous section — the fixed grid's geometry set is private to
     # this spec, so in practice the builds land here).
-    t0 = time.perf_counter()
-    store = CampaignStore.create(work / "pattern-store", grid)
-    summary = run_campaign(store)
-    batched_wall = time.perf_counter() - t0
+    with stopwatch() as batched:
+        store = CampaignStore.create(work / "pattern-store", grid)
+        summary = run_campaign(store)
     if summary["executed"] != len(grid):
         raise RuntimeError(
             f"campaign root {work / 'pattern-store'} already held "
@@ -258,17 +255,16 @@ def _benchmark_pattern(work: Path, n_sizes: int) -> dict:
             f"benchmark against an empty --root"
         )
     store_stats = store.stats()
-    batched_pps = len(grid) / batched_wall
+    batched_pps = len(grid) / batched.wall
 
     # PR-4 config path: a PatternConfig per point (scenario_at) into
     # the batch kernel — the pattern-campaign status quo before the
     # columns-first fast path.  Sampled contiguously (chunk-shaped,
     # like the real path ran) and scaled.
     chunk = min(len(grid), 4 * PATTERN_SAMPLE_POINTS)
-    t0 = time.perf_counter()
-    _pattern_columns(grid, 0, chunk)
-    config_wall = time.perf_counter() - t0
-    config_pps = chunk / config_wall
+    with stopwatch() as config:
+        _pattern_columns(grid, 0, chunk)
+    config_pps = chunk / config.wall
 
     # Per-point pipeline: one Backend.run() + one content-hashed file
     # per point (v1 ResultStore), sampled with a uniform stride.
@@ -277,24 +273,24 @@ def _benchmark_pattern(work: Path, n_sizes: int) -> dict:
         grid.scenario_at(i) for i in range(0, len(grid), stride)
     ]
     v1_store = ResultStore(work / "pattern-v1-store")
-    t0 = time.perf_counter()
-    for scenario in sample:
-        v1_store.put_dict(
-            scenario, result_to_dict(scenario, execute(scenario))
-        )
-    pipeline_wall = time.perf_counter() - t0
-    pipeline_pps = len(sample) / pipeline_wall
+    with stopwatch() as pipeline:
+        for scenario in sample:
+            v1_store.put_dict(
+                scenario, result_to_dict(scenario, execute(scenario))
+            )
+    pipeline_pps = len(sample) / pipeline.wall
 
     return {
         "backend": "analytic",
         "grid": pattern_campaign_grid_spec(n_sizes),
         "n_points": len(grid),
         "python": platform.python_version(),
+        "env": environment_provenance(),
         "batched": {
             "description": "columns-first fast path: grid digits -> "
                            "geometry-cached topology summaries -> "
                            "vectorized kernel -> columnar segments",
-            "wall_s": round(batched_wall, 4),
+            "wall_s": round(batched.wall, 4),
             "points_per_s": round(batched_pps, 1),
             "chunks": summary["chunks"],
             "segments": store_stats["segments"],

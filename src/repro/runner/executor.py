@@ -36,6 +36,8 @@ import multiprocessing
 from dataclasses import dataclass, field
 from typing import Any, Iterable, List, Optional, Sequence
 
+from .. import telemetry
+from ..telemetry import span
 from .planner import plan_execution
 from .scenario import (
     Scenario,
@@ -65,7 +67,10 @@ def default_jobs() -> int:
 def _execute_payload(payload: dict) -> dict:
     """Pool worker (one point): scenario dict in, result dict out."""
     scenario = Scenario.from_dict(payload)
-    return result_to_dict(scenario, execute(scenario))
+    with span("executor.worker.execute"):
+        result = execute(scenario)
+    telemetry.count("executor.worker.points")
+    return result_to_dict(scenario, result)
 
 
 def _execute_chunk(payloads: List[dict]) -> List[dict]:
@@ -76,6 +81,27 @@ def _execute_chunk(payloads: List[dict]) -> List[dict]:
     chunk instead of once per point.
     """
     return [_execute_payload(payload) for payload in payloads]
+
+
+def _worker_telemetry_init() -> None:
+    """Pool initializer: give each worker its own enabled registry, so
+    worker-side spans and counters accumulate locally and ship back to
+    the parent as per-chunk snapshot deltas."""
+    telemetry.set_registry(telemetry.MetricsRegistry())
+
+
+def _execute_chunk_metered(payloads: List[dict]):
+    """The metered twin of :func:`_execute_chunk`: returns
+    ``(result_dicts, metrics_snapshot)`` — the worker's telemetry delta
+    rides the existing chunk-result channel back to the parent, which
+    merges it (:meth:`~repro.telemetry.MetricsRegistry.merge_snapshot`).
+    """
+    results = _execute_chunk(payloads)
+    registry = telemetry.active_registry()
+    snapshot = (
+        registry.snapshot_and_reset() if registry is not None else None
+    )
+    return results, snapshot
 
 
 def iter_chunk_results(
@@ -107,19 +133,40 @@ def iter_chunk_results(
     """
     if not use_pool or workers <= 1:
         for payloads in payload_chunks:
-            yield _execute_chunk(payloads)
+            # Compute inside the span, yield outside: the consumer's
+            # store write must not be charged to executor.compute.
+            with span("executor.compute"):
+                results = _execute_chunk(payloads)
+            yield results
         return
     from collections import deque
 
     window = max(1, int(window))
+    # One metering decision for the whole pipeline: when telemetry is
+    # active, workers get their own registries (pool initializer) and
+    # each chunk result carries its metrics delta back for merging.
+    metered = telemetry.active_registry() is not None
     #: (ready, value) entries: ready results pass through the ordered
     #: queue untouched, async ones block on .get() at their turn.
     pending: deque = deque()
 
     def resolve(entry):
         ready, value = entry
-        return value if ready else value.get()
+        if ready:
+            return value
+        # Time blocked on the ordered-consume turn: ~0 when the chunk
+        # already finished, the pipeline's stall otherwise.
+        with span("executor.stall"):
+            value = value.get()
+        if metered:
+            results, snapshot = value
+            registry = telemetry.active_registry()
+            if registry is not None:
+                registry.merge_snapshot(snapshot)
+            return results
+        return value
 
+    task = _execute_chunk_metered if metered else _execute_chunk
     pool = None
     try:
         for payloads in payload_chunks:
@@ -127,10 +174,16 @@ def iter_chunk_results(
                 pending.append((True, []))
             else:
                 if pool is None:
-                    pool = multiprocessing.Pool(processes=workers)
+                    pool = multiprocessing.Pool(
+                        processes=workers,
+                        initializer=(
+                            _worker_telemetry_init if metered else None
+                        ),
+                    )
                 pending.append(
-                    (False, pool.apply_async(_execute_chunk, (payloads,)))
+                    (False, pool.apply_async(task, (payloads,)))
                 )
+            telemetry.observe("executor.window_occupancy", len(pending))
             while len(pending) >= window:
                 yield resolve(pending.popleft())
         while pending:

@@ -190,4 +190,16 @@ def plan_execution(
                     inline=False,
                 )
             )
+    # Chunking decisions as observables (no-ops unless a telemetry
+    # registry is active): the profile report shows the plan the
+    # executor actually ran under.
+    from .. import telemetry
+
+    if telemetry.active_registry() is not None:
+        telemetry.count("planner.plans")
+        telemetry.count("planner.chunks.inline", len(plan.inline_chunks))
+        telemetry.count("planner.chunks.pooled", len(plan.pool_chunks))
+        telemetry.gauge("planner.workers", plan.workers)
+        telemetry.gauge("planner.chunk_size", plan.chunk_size)
+        telemetry.gauge("planner.use_pool", int(plan.use_pool))
     return plan

@@ -21,7 +21,7 @@ from .process import Interrupt, Process
 from .resources import Lock, Release, Request, Resource, ResourceStats, Store
 from .rng import RngRegistry
 from .sync import CountdownLatch, Semaphore, Signal, SimBarrier
-from .trace import NullTracer, TraceRecord, Tracer
+from .trace import NullTracer, StreamingTracer, TraceRecord, Tracer
 
 __all__ = [
     "Environment",
@@ -52,5 +52,6 @@ __all__ = [
     "RngRegistry",
     "Tracer",
     "NullTracer",
+    "StreamingTracer",
     "TraceRecord",
 ]

@@ -14,7 +14,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from .core import Environment
 
-__all__ = ["TraceRecord", "Tracer", "NullTracer"]
+__all__ = ["TraceRecord", "Tracer", "NullTracer", "StreamingTracer"]
 
 
 @dataclass(frozen=True)
@@ -92,3 +92,26 @@ class NullTracer(Tracer):
 
     def log(self, category: str, event: str, **fields: Any) -> None:  # noqa: D102
         return
+
+
+class StreamingTracer(Tracer):
+    """A tracer that hands each record to a sink instead of storing it.
+
+    ``self.records`` stays empty, so an arbitrarily long simulation
+    traces in O(1) memory — the sink (typically a JSONL metrics file,
+    see :mod:`repro.telemetry`) owns persistence.  Category filters
+    apply before the sink sees a record, same as :class:`Tracer`.
+    """
+
+    def __init__(
+        self, env: Environment, sink: Callable[[TraceRecord], None]
+    ):
+        super().__init__(env, enabled=True)
+        self._sink = sink
+
+    def log(self, category: str, event: str, **fields: Any) -> None:
+        if not self.enabled:
+            return
+        if self._filters is not None and category not in self._filters:
+            return
+        self._sink(TraceRecord(self.env.now, category, event, fields))
