@@ -47,6 +47,7 @@ Campaigns (streaming schema-v2 store; see README "Campaigns")::
     python -m repro campaign run grid.json --root camp/ --limit 10000
     python -m repro campaign run sim.json --root camp/ --jobs 8 --submit-ahead 16
     python -m repro campaign run grid.json --root camp/ --compress  # .jsonl.gz
+    python -m repro campaign run grid.json --root camp/ --binary    # .bin columns
     python -m repro campaign run grid.json --root camp/ --metrics   # telemetry
     python -m repro campaign profile camp/                   # stage attribution
     python -m repro campaign status camp/                    # coverage
@@ -54,6 +55,7 @@ Campaigns (streaming schema-v2 store; see README "Campaigns")::
     python -m repro campaign export camp/ --out points.jsonl
     python -m repro campaign compact camp/                   # merge segments
     python -m repro campaign compact camp/ --compress        # + gzip migration
+    python -m repro campaign compact camp/ --binary          # + binary migration
     python -m repro campaign-bench                           # BENCH_campaign.json
     python -m repro campaign-bench --kind pattern            # pattern fast path
 
@@ -501,6 +503,15 @@ def _campaign_parser() -> argparse.ArgumentParser:
                      help="write gzip segments (.jsonl.gz; new "
                           "campaigns only — resumed campaigns keep "
                           "their header's compression)")
+    run.add_argument("--binary", action="store_true",
+                     help="write analytic columnar chunks as binary "
+                          ".bin segments (raw little-endian column "
+                          "blocks; new campaigns only — mutually "
+                          "exclusive with --compress)")
+    run.add_argument("--sync-write", action="store_true",
+                     help="disable the async segment writer (inline "
+                          "campaigns append on the compute thread; "
+                          "segments are byte-identical either way)")
     run.add_argument("--fallback-store", default=None, metavar="DIR",
                      help="v1 result store consulted before simulating "
                           "(read-through)")
@@ -548,6 +559,11 @@ def _campaign_parser() -> argparse.ArgumentParser:
                          help="write the merged segments gzipped and "
                               "make gzip the campaign default "
                               "(in-place migration)")
+    compact.add_argument("--binary", action="store_true",
+                         help="rewrite analytic rows as binary .bin "
+                              "segments and make binary the campaign "
+                              "default (in-place migration; mutually "
+                              "exclusive with --compress)")
     return parser
 
 
@@ -653,10 +669,19 @@ def _run_campaign_cli(args) -> int:
         fallback = (
             ResultStore(args.fallback_store) if args.fallback_store else None
         )
+        if args.compress and args.binary:
+            print("error: --compress and --binary are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        compression = "none"
+        if args.compress:
+            compression = "gzip"
+        elif args.binary:
+            compression = "binary"
         try:
             store = CampaignStore.create(
                 args.root, grid, fallback=fallback,
-                compression="gzip" if args.compress else "none",
+                compression=compression,
             )
         except (KeyError, TypeError, ValueError) as exc:
             message = exc.args[0] if exc.args else exc
@@ -670,6 +695,7 @@ def _run_campaign_cli(args) -> int:
             chunk_points=args.chunk,
             limit=args.limit,
             submit_ahead=args.submit_ahead,
+            async_write=False if args.sync_write else None,
             progress=print,
         )
         if args.metrics:
@@ -726,10 +752,18 @@ def _run_campaign_cli(args) -> int:
         print(f"[exported {count} point(s)]", file=sys.stderr)
         return 0
     if args.action == "compact":
-        summary = store.compact(compress=True if args.compress else None)
+        if args.compress and args.binary:
+            print("error: --compress and --binary are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        summary = store.compact(
+            compress=True if args.compress else None,
+            binary=True if args.binary else None,
+        )
         print(f"compacted {summary['segments_before']} segment(s) into "
               f"{summary['segments_after']} ({summary['points']} points)"
-              + (" [gzip]" if args.compress else ""))
+              + (" [gzip]" if args.compress else "")
+              + (" [binary]" if args.binary else ""))
         return 0
     return 2
 

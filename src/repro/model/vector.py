@@ -678,6 +678,17 @@ class PatternBatch:
     bytes_per_iteration: np.ndarray
     n_links: np.ndarray
 
+    def store_columns(self) -> list:
+        """The batch as campaign-store columns, store dtype order
+        (``times`` float64, ``bytes_per_iteration``/``n_links`` int64)
+        — contiguous arrays a binary segment can ``tobytes()`` without
+        a copy and a JSONL segment can ``tolist()`` whole."""
+        return [
+            np.ascontiguousarray(self.times, dtype=np.float64),
+            np.ascontiguousarray(self.bytes_per_iteration, dtype=np.int64),
+            np.ascontiguousarray(self.n_links, dtype=np.int64),
+        ]
+
 
 #: Topology summaries keyed by the config fields that shape the link
 #: graph: ``(pattern, n_ranks, n_threads, msg_bytes)``.  A summary is

@@ -17,6 +17,13 @@ campaign store exploits that a grid point is fully identified by
   ``[index, ...]`` in a per-segment *encoding* (compact ``bench-mean``
   / ``pattern-mean`` rows for the deterministic analytic backend, full
   ``result`` rows otherwise);
+* ``segments/seg-NNNNNN.bin`` — the binary-columnar form of an
+  analytic chunk (campaign ``compression: "binary"``): the same tagged
+  JSON header line followed by raw little-endian column blocks
+  (``float64``/``int64``, ``numpy.ndarray.tobytes()`` straight from
+  the kernel's output arrays — zero per-point formatting), mmap-read
+  and size-validated; binary, plain, and gzip segments mix freely in
+  one store;
 * ``index.json`` — covered index ranges per segment.  It is a pure
   accelerator: if it is missing or stale it is rebuilt by scanning the
   segment headers, so resume works from the segments alone;
@@ -27,15 +34,27 @@ campaign store exploits that a grid point is fully identified by
 :func:`run_campaign` executes the missing ranges chunk-by-chunk: the
 analytic fast paths (bench *and* pattern) decode grid indices straight
 into parameter columns for the vectorized model kernel (no spec
-objects, no content hashes — microseconds per point end-to-end), while
-simulation chunks flow through a bounded submit-ahead pipeline
+objects, no content hashes — microseconds per point end-to-end), and
+hand the kernel's output arrays to a bounded-queue **async segment
+writer** (:class:`~repro.runner.executor.AsyncSegmentWriter`) so
+encode+write overlap the next chunk's compute; simulation chunks flow
+through a bounded submit-ahead pipeline
 (:func:`~repro.runner.executor.iter_chunk_results`): the next chunks
 are already executing on a persistent worker pool while earlier
 results stream to the store in submission order.  Each completed chunk
 is appended before the next result is consumed, so an interrupted
 campaign resumes from its segments; segments may be gzip-compressed
 (``compression`` header field; ``compact(compress=True)`` migrates in
-place) and plain/gzip segments read interchangeably.
+place) or binary-columnar (``compact(binary=True)``), and all three
+on-disk forms read interchangeably.
+
+Reads are a **streaming k-way merge**: every segment yields its rows
+in ascending index order, a heap merges them with a latest-append-wins
+tiebreak (higher segment sequence pops first per index), and segments
+are opened lazily when the merge cursor reaches their first covered
+index — so :meth:`CampaignStore.iter_rows` and
+:meth:`CampaignStore.compact` hold O(one segment) in memory instead of
+materializing a per-point dict for the whole campaign.
 """
 
 from __future__ import annotations
@@ -56,7 +75,14 @@ from typing import (
 
 from .. import telemetry
 from ..telemetry import span
-from .io import atomic_write_text, open_segment_text, write_jsonl
+from .io import (
+    atomic_write_bytes,
+    atomic_write_text,
+    open_segment_text,
+    read_binary_segment,
+    read_segment_header,
+    write_jsonl,
+)
 from .scenario import (
     GRID_SCHEMA,
     KIND_BENCH,
@@ -90,7 +116,43 @@ ENC_BENCH_MEAN = "bench-mean"
 ENC_PATTERN_MEAN = "pattern-mean"
 ENC_BENCH_COLS = "bench-cols"
 ENC_PATTERN_COLS = "pattern-cols"
+ENC_BENCH_BIN = "bench-bin"
+ENC_PATTERN_BIN = "pattern-bin"
 ENC_HASHED = "hashed-result"
+
+#: Column layout of the binary encodings: ``(name, dtype)`` blocks in
+#: on-disk order, dtypes explicitly little-endian.  The header also
+#: carries this list (``"columns"``), so a binary segment stays
+#: self-describing.
+_BIN_COLUMNS: Dict[str, Tuple[Tuple[str, str], ...]] = {
+    ENC_BENCH_BIN: (("times", "<f8"),),
+    ENC_PATTERN_BIN: (
+        ("times", "<f8"),
+        ("bytes_per_iteration", "<i8"),
+        ("n_links", "<i8"),
+    ),
+}
+
+#: Columnar-JSONL encoding -> its binary twin (the append fast path
+#: under a ``compression: "binary"`` campaign).
+_BIN_FOR_COLS = {
+    ENC_BENCH_COLS: ENC_BENCH_BIN,
+    ENC_PATTERN_COLS: ENC_PATTERN_BIN,
+}
+
+#: Mean-row encoding -> binary twin (the ``compact --binary`` path).
+_BIN_FOR_MEAN = {
+    ENC_BENCH_MEAN: ENC_BENCH_BIN,
+    ENC_PATTERN_MEAN: ENC_PATTERN_BIN,
+}
+
+#: Binary encoding -> the row dialect its unfolded rows speak (shared
+#: with the ``*-cols`` unfold, so every downstream consumer sees one
+#: row form per kind).
+_ROW_ENC_FOR_BIN = {
+    ENC_BENCH_BIN: ENC_BENCH_MEAN,
+    ENC_PATTERN_BIN: ENC_PATTERN_MEAN,
+}
 
 #: Points per inline (analytic) campaign chunk when the caller does
 #: not pin one; simulation chunks are sized by the planner's
@@ -101,12 +163,18 @@ DEFAULT_INLINE_CHUNK = 16384
 #: Target points per segment after compaction.
 COMPACT_SEGMENT_POINTS = 8192
 
-#: Segment compression modes (the campaign-header ``compression``
-#: field selects the default for *new* segments; readers handle both
-#: transparently, so mixed stores are fine).
+#: Segment storage modes (the campaign-header ``compression`` field
+#: selects the default for *new* segments; readers dispatch per file,
+#: so mixed stores are fine).  ``"binary"`` stores analytic columnar
+#: chunks as raw little-endian column blocks (``.bin``); row-encoded
+#: segments (simulation results, v1 rows) stay plain JSONL under it.
 COMPRESSION_NONE = "none"
 COMPRESSION_GZIP = "gzip"
-COMPRESSIONS = (COMPRESSION_NONE, COMPRESSION_GZIP)
+COMPRESSION_BINARY = "binary"
+COMPRESSIONS = (COMPRESSION_NONE, COMPRESSION_GZIP, COMPRESSION_BINARY)
+
+#: Every on-disk segment suffix one seq number may occupy.
+_SEGMENT_SUFFIXES = (".jsonl", ".jsonl.gz", ".bin")
 
 
 # ---------------------------------------------------------------------------
@@ -317,9 +385,14 @@ class CampaignStore:
 
     @property
     def compression(self) -> str:
-        """Compression of *newly written* segments (header field;
+        """Storage mode of *newly written* segments (header field;
         pre-compression campaigns read as ``"none"``)."""
         return self.header.get("compression", COMPRESSION_NONE)
+
+    @property
+    def binary(self) -> bool:
+        """True when new columnar appends land as binary segments."""
+        return self.compression == COMPRESSION_BINARY
 
     # -- index ---------------------------------------------------------------
     def _read_index(self) -> Optional[dict]:
@@ -344,6 +417,7 @@ class CampaignStore:
             for pattern in (
                 "segments/*.jsonl",
                 "segments/*.jsonl.gz",
+                "segments/*.bin",
                 "loose/*.jsonl",
                 "loose/*.jsonl.gz",
             )
@@ -387,8 +461,10 @@ class CampaignStore:
         segments: List[dict] = []
         loose: List[dict] = []
         ignored: List[str] = []
-        seg_paths = sorted(self.root.glob("segments/*.jsonl")) + sorted(
-            self.root.glob("segments/*.jsonl.gz")
+        seg_paths = (
+            sorted(self.root.glob("segments/*.jsonl"))
+            + sorted(self.root.glob("segments/*.jsonl.gz"))
+            + sorted(self.root.glob("segments/*.bin"))
         )
         for path in sorted(seg_paths):
             header = self._segment_header(path)
@@ -436,10 +512,14 @@ class CampaignStore:
         # EOFError: gzip's "compressed file ended before the
         # end-of-stream marker" (a truncated .jsonl.gz) is not an
         # OSError — it must count as unreadable, not crash the rebuild.
+        # Binary segments are size-validated against their declared
+        # column layout, so truncation (or trailing garbage) lands in
+        # the same ValueError path (see
+        # :func:`~repro.runner.io.read_segment_header`); KeyError
+        # covers a parseable-but-incomplete binary header.
         try:
-            with open_segment_text(path) as handle:
-                header = json.loads(handle.readline())
-        except (OSError, ValueError, EOFError):
+            header = read_segment_header(path)
+        except (OSError, ValueError, EOFError, KeyError, TypeError):
             return None
         if header.get("schema") != SEGMENT_SCHEMA:
             return None
@@ -472,6 +552,48 @@ class CampaignStore:
         return sum(stop - start for start, stop in self.completed_ranges())
 
     # -- writing -------------------------------------------------------------
+    def _segment_name(self, n_existing: int, suffix: str) -> str:
+        """Next free ``segments/seg-NNNNNN`` name: the seq counter
+        starts at the index's segment count and skips numbers any
+        on-disk form already occupies (compaction may renumber)."""
+        seq = n_existing
+        while any(
+            (self.root / f"segments/seg-{seq:06d}{s}").exists()
+            for s in _SEGMENT_SUFFIXES
+        ):
+            seq += 1
+        return f"segments/seg-{seq:06d}{suffix}"
+
+    def _segment_entry(
+        self,
+        name: str,
+        encoding: str,
+        ranges: Sequence[Tuple[int, int]],
+        count: int,
+        backend: str,
+        extra: Optional[dict] = None,
+    ) -> Tuple[dict, dict]:
+        """``(segment_header, index_entry)`` for one new segment."""
+        header = {
+            "schema": SEGMENT_SCHEMA,
+            "campaign": self.header["grid_hash"],
+            "kind": self.header["kind"],
+            "backend": backend,
+            "encoding": encoding,
+            "ranges": [[int(s), int(e)] for s, e in ranges],
+            "count": int(count),
+        }
+        if extra:
+            header.update(extra)
+        entry = {
+            "file": name,
+            "ranges": header["ranges"],
+            "count": header["count"],
+            "encoding": encoding,
+            "backend": backend,
+        }
+        return header, entry
+
     def _write_segment(
         self,
         body_lines: List[str],
@@ -482,15 +604,16 @@ class CampaignStore:
         existing_segments: List[dict],
         compression: Optional[str] = None,
     ) -> Tuple[Path, dict]:
-        """Write one segment file (atomic) and return its index entry.
+        """Write one JSONL segment file (atomic); return its index entry.
 
-        The single owner of the segment protocol — naming, tagged
+        The single owner of the text-segment protocol — naming, tagged
         header, file body — shared by the row and the columnar append
         paths.  ``compression`` overrides the campaign-header default
         for this segment (the ``compact --compress`` migration path);
         gzip segments carry a ``.jsonl.gz`` name, so every reader
-        dispatches by suffix.  Does *not* touch ``index.json``; callers
-        batch their index updates.
+        dispatches by suffix (a ``"binary"`` campaign writes its *row*
+        segments plain — only columnar data has a binary form).  Does
+        *not* touch ``index.json``; callers batch their index updates.
         """
         backend = backend if backend is not None else self.header["backend"]
         compression = (
@@ -499,23 +622,10 @@ class CampaignStore:
         suffix = (
             ".jsonl.gz" if compression == COMPRESSION_GZIP else ".jsonl"
         )
-        seq = len(existing_segments)
-        name = f"segments/seg-{seq:06d}{suffix}"
-        while (  # compaction may renumber; either form occupies a seq
-            (self.root / f"segments/seg-{seq:06d}.jsonl").exists()
-            or (self.root / f"segments/seg-{seq:06d}.jsonl.gz").exists()
-        ):
-            seq += 1
-            name = f"segments/seg-{seq:06d}{suffix}"
-        header = {
-            "schema": SEGMENT_SCHEMA,
-            "campaign": self.header["grid_hash"],
-            "kind": self.header["kind"],
-            "backend": backend,
-            "encoding": encoding,
-            "ranges": [[int(s), int(e)] for s, e in ranges],
-            "count": int(count),
-        }
+        name = self._segment_name(len(existing_segments), suffix)
+        header, entry = self._segment_entry(
+            name, encoding, ranges, count, backend
+        )
         with span("store.encode"):
             lines = [json.dumps(header, sort_keys=True)]
             lines.extend(body_lines)
@@ -531,13 +641,61 @@ class CampaignStore:
             telemetry.count("store.segments_written")
             telemetry.count("store.bytes_encoded", len(text))
             telemetry.count("store.bytes_written", target.stat().st_size)
-        entry = {
-            "file": name,
-            "ranges": header["ranges"],
-            "count": header["count"],
-            "encoding": encoding,
-            "backend": backend,
-        }
+        return target, entry
+
+    def _write_segment_binary(
+        self,
+        columns: Sequence,
+        encoding: str,
+        ranges: Sequence[Tuple[int, int]],
+        count: int,
+        backend: Optional[str],
+        existing_segments: List[dict],
+    ) -> Tuple[Path, dict]:
+        """Write one binary-columnar segment (atomic).
+
+        Layout: the usual tagged JSON header line (plus a ``"columns"``
+        ``[name, dtype]`` list) and then one raw little-endian block
+        per column — ``numpy.ndarray.tobytes()`` of the kernel output,
+        no per-point formatting.  Indices are implicit: position ``p``
+        is the ``p``-th index of the sorted ``ranges``.
+        """
+        import numpy as np
+
+        backend = backend if backend is not None else self.header["backend"]
+        layout = _BIN_COLUMNS[encoding]
+        if len(columns) != len(layout):
+            raise ValueError(
+                f"{encoding!r} takes {len(layout)} column(s), "
+                f"got {len(columns)}"
+            )
+        name = self._segment_name(len(existing_segments), ".bin")
+        header, entry = self._segment_entry(
+            name, encoding, ranges, count, backend,
+            extra={"columns": [[n, d] for n, d in layout]},
+        )
+        with span("store.encode"):
+            blocks = []
+            for (col_name, dtype), column in zip(layout, columns):
+                block = np.ascontiguousarray(
+                    np.asarray(column, dtype=dtype)
+                )
+                if block.shape != (int(count),):
+                    raise ValueError(
+                        f"column {col_name!r}: {block.shape[0] if block.ndim == 1 else block.shape} "
+                        f"value(s) for a {count}-point segment"
+                    )
+                blocks.append(block.tobytes())
+            data = (
+                json.dumps(header, sort_keys=True) + "\n"
+            ).encode("utf-8") + b"".join(blocks)
+        target = self.root / name
+        with span("store.write"):
+            atomic_write_bytes(target, data)
+        if telemetry.active_registry() is not None:
+            telemetry.count("store.segments_written")
+            telemetry.count("store.bytes_encoded", len(data))
+            telemetry.count("store.bytes_written", target.stat().st_size)
         return target, entry
 
     @staticmethod
@@ -565,9 +723,13 @@ class CampaignStore:
 
         ``rows`` are pre-encoded row lists (first element the grid
         index); ``ranges`` the [start, stop) coverage they represent.
+        Rows are written index-sorted (stable, so same-index duplicates
+        keep their submission order) — the invariant the k-way merge
+        reads rely on.
         """
         index = self._index()
         segments = list(index["segments"])
+        rows = sorted(rows, key=lambda row: int(row[0]))
         with span("store.encode"):
             body_lines = self._encode_rows(rows, encoding)
         target, entry = self._write_segment(
@@ -590,24 +752,41 @@ class CampaignStore:
     ) -> Path:
         """Append one *contiguous* chunk in columnar form (hot path).
 
-        ``columns`` are whole-chunk value lists (times, and for
-        patterns bytes/links), one JSON array line each; point ``i`` of
-        every column belongs to grid index ``start + i``.  One C-level
-        ``json.dumps`` per column replaces a Python format call per
-        point — this is what keeps million-point campaigns at
-        O(100ns/point) serialization cost.
+        ``columns`` are whole-chunk value arrays (times, and for
+        patterns bytes/links) — numpy arrays straight off the kernel,
+        or plain lists; point ``i`` of every column belongs to grid
+        index ``start + i``.  A ``"binary"`` campaign writes them as
+        raw little-endian blocks (``ndarray.tobytes()``, zero per-point
+        formatting); otherwise one C-level ``json.dumps`` per column —
+        either way no Python format call per point.
         """
+        import numpy as np
+
         if encoding not in (ENC_BENCH_COLS, ENC_PATTERN_COLS):
             raise ValueError(f"not a columnar encoding: {encoding!r}")
         index = self._index()
         segments = list(index["segments"])
-        with span("store.encode"):
-            body_lines = [json.dumps(list(column)) for column in columns]
-        target, entry = self._write_segment(
-            body_lines,
-            encoding, [(start, stop)], int(stop) - int(start),
-            backend, segments,
-        )
+        if self.binary:
+            target, entry = self._write_segment_binary(
+                columns, _BIN_FOR_COLS[encoding],
+                [(start, stop)], int(stop) - int(start),
+                backend, segments,
+            )
+        else:
+            with span("store.encode"):
+                body_lines = [
+                    json.dumps(
+                        column.tolist()
+                        if isinstance(column, np.ndarray)
+                        else list(column)
+                    )
+                    for column in columns
+                ]
+            target, entry = self._write_segment(
+                body_lines,
+                encoding, [(start, stop)], int(stop) - int(start),
+                backend, segments,
+            )
         segments.append(entry)
         self._write_index(
             segments, index["loose"], index.get("ignored", [])
@@ -642,44 +821,123 @@ class CampaignStore:
             }
         raise ValueError(f"unknown segment encoding {encoding!r}")
 
-    def _raw_rows(self) -> Iterator[Tuple[int, list, str]]:
-        """Yield ``(index, raw_row, encoding)`` over all segments in
-        append order (duplicates possible across overlapping appends).
+    def _segment_rows(self, entry: dict) -> Iterator[Tuple[int, list, str]]:
+        """One segment's rows as ``(index, row, row_encoding)``,
+        ascending, at most one row per index (a same-index duplicate
+        *within* a segment resolves to the later file position).
 
-        Columnar segments are unpacked into the equivalent row form, so
-        every consumer (iteration, export, compaction) sees one row
-        dialect per kind.
+        Columnar and binary segments unfold into the equivalent
+        ``*-mean`` row dialect, so every consumer above the merge sees
+        one row form per kind.  Binary columns stream from read-only
+        memmaps — nothing beyond the touched pages is resident.
         """
-        for entry in self._index()["segments"]:
-            path = self.root / entry["file"]
-            encoding = entry["encoding"]
-            with open_segment_text(path) as handle:
-                header = json.loads(handle.readline())
-                if encoding in (ENC_BENCH_COLS, ENC_PATTERN_COLS):
-                    columns = [json.loads(line) for line in handle if line.strip()]
-                    start = header["ranges"][0][0]
-                    row_encoding = (
-                        ENC_BENCH_MEAN
-                        if encoding == ENC_BENCH_COLS
-                        else ENC_PATTERN_MEAN
-                    )
-                    for j, values in enumerate(zip(*columns)):
-                        yield start + j, [start + j, *values], row_encoding
-                    continue
-                for line in handle:
-                    if not line.strip():
-                        continue
-                    row = json.loads(line)
-                    yield int(row[0]), row, encoding
+        path = self.root / entry["file"]
+        encoding = entry["encoding"]
+        if encoding in _BIN_COLUMNS:
+            header, columns = read_binary_segment(path)
+            row_encoding = _ROW_ENC_FOR_BIN[encoding]
+            pos = 0
+            for start, stop in header["ranges"]:
+                for j in range(int(start), int(stop)):
+                    yield j, [
+                        j, *(col[pos].item() for col in columns)
+                    ], row_encoding
+                    pos += 1
+            return
+        with open_segment_text(path) as handle:
+            header = json.loads(handle.readline())
+            if encoding in (ENC_BENCH_COLS, ENC_PATTERN_COLS):
+                columns = [
+                    json.loads(line) for line in handle if line.strip()
+                ]
+                start = header["ranges"][0][0]
+                row_encoding = (
+                    ENC_BENCH_MEAN
+                    if encoding == ENC_BENCH_COLS
+                    else ENC_PATTERN_MEAN
+                )
+                for j, values in enumerate(zip(*columns)):
+                    yield start + j, [start + j, *values], row_encoding
+                return
+            rows = [json.loads(line) for line in handle if line.strip()]
+        # Append paths write rows index-sorted, but a v2 store written
+        # by an older session may not be: a stable sort costs nothing
+        # when already ordered and restores the merge invariant when
+        # not (same-index duplicates keep file order, so the later
+        # occurrence wins below).
+        rows.sort(key=lambda row: int(row[0]))
+        for k, row in enumerate(rows):
+            if k + 1 < len(rows) and int(rows[k + 1][0]) == int(row[0]):
+                continue
+            yield int(row[0]), row, encoding
+
+    def _merged_rows(self) -> Iterator[Tuple[int, list, str]]:
+        """Streaming k-way merge over all segments: ``(index, row,
+        row_encoding)`` strictly ascending, exactly one row per covered
+        index, latest-append-wins on overlap.
+
+        Segments are *lazily activated*: each stays unopened until the
+        merge cursor reaches its first covered index, so a compacted or
+        append-only store (disjoint ranges) holds O(one segment) in
+        memory however many segments it has.  The heap orders by
+        ``(index, -seq)`` — on duplicate coverage the highest segment
+        sequence (the latest append) pops first and later pops of the
+        same index are dropped.
+        """
+        import heapq
+
+        entries = self._index()["segments"]
+        # Activation schedule: (first covered index, seq), reverse-
+        # sorted so the next segment due is popped from the end.
+        schedule = sorted(
+            (
+                (min(int(s) for s, _ in entry["ranges"]), seq)
+                for seq, entry in enumerate(entries)
+                if entry["ranges"]
+            ),
+            reverse=True,
+        )
+        # Heap entries: (index, -seq, row, encoding, iterator).
+        # (index, -seq) is unique — seq appears once — so the row and
+        # iterator never get compared.
+        heap: List[Tuple[int, int, list, str, Iterator]] = []
+
+        def activate_due(cursor: int) -> None:
+            while schedule and schedule[-1][0] <= cursor:
+                _, seq = schedule.pop()
+                it = self._segment_rows(entries[seq])
+                first = next(it, None)
+                if first is not None:
+                    index, row, enc = first
+                    heapq.heappush(heap, (index, -seq, row, enc, it))
+
+        last_index = -1
+        while heap or schedule:
+            if not heap:
+                activate_due(schedule[-1][0])
+                continue
+            index, negseq, row, enc, it = heapq.heappop(heap)
+            if schedule and schedule[-1][0] <= index:
+                # A not-yet-opened segment covers an index <= this one;
+                # it may hold a later append of the same index.  Put
+                # the row back, open everything due, re-pop.
+                heapq.heappush(heap, (index, negseq, row, enc, it))
+                activate_due(index)
+                continue
+            nxt = next(it, None)
+            if nxt is not None:
+                heapq.heappush(heap, (nxt[0], negseq, nxt[1], nxt[2], it))
+            if index == last_index:
+                continue  # an earlier append of an index already yielded
+            last_index = index
+            yield index, row, enc
 
     def iter_rows(self) -> Iterator[Tuple[int, dict]]:
         """Yield ``(grid_index, result_dict)`` sorted by index, one per
-        point (on duplicate coverage the latest append wins)."""
-        latest: Dict[int, Tuple[list, str]] = {}
-        for index, row, encoding in self._raw_rows():
-            latest[index] = (row, encoding)
-        for index in sorted(latest):
-            row, encoding = latest[index]
+        point (on duplicate coverage the latest append wins).  Streams:
+        peak memory is bounded by the largest segment, not the
+        campaign (see :meth:`_merged_rows`)."""
+        for index, row, encoding in self._merged_rows():
             yield self._decode_row(row, encoding)
 
     def scenario_at(self, index: int) -> Scenario:
@@ -691,15 +949,34 @@ class CampaignStore:
     def query(self, **filters) -> Iterator[Tuple[int, Dict[str, Any], dict]]:
         """Yield ``(index, axis_assignment, result_dict)`` for completed
         points whose axis assignment matches every filter, e.g.
-        ``store.query(approach="pt2pt_part", n_threads=4)``."""
+        ``store.query(approach="pt2pt_part", n_threads=4)``.
+
+        Axis filters are decoded once into matching *value codes* and
+        tested digit-wise against the row-major index — integer
+        arithmetic per point instead of materializing the assignment
+        dict; :meth:`assignment_at` runs only on the matches yielded.
+        Base-field filters (and unknown names) resolve before any row
+        is read: a mismatch yields nothing.
+        """
+        grid = self.grid
+        strides = grid._strides()
+        checks: List[Tuple[int, int, frozenset]] = []
+        for name, value in filters.items():
+            if name in grid.axes:
+                codes = frozenset(
+                    i for i, v in enumerate(grid.axes[name]) if v == value
+                )
+                if not codes:
+                    return
+                checks.append((strides[name], len(grid.axes[name]), codes))
+            elif name not in grid.base or grid.base[name] != value:
+                return
         for index, result in self.iter_rows():
-            assignment = self.assignment_at(index)
-            probe = {**self.grid.base, **assignment}
             if all(
-                name in probe and probe[name] == value
-                for name, value in filters.items()
+                (index // stride) % size in codes
+                for stride, size, codes in checks
             ):
-                yield index, assignment, result
+                yield index, self.assignment_at(index), result
 
     def export_jsonl(self, target, where: Optional[dict] = None) -> int:
         """Dump completed points as JSON-lines ``{"index", "assignment",
@@ -724,14 +1001,29 @@ class CampaignStore:
         )
 
     # -- maintenance ---------------------------------------------------------
-    def compact(self, compress: Optional[bool] = None) -> dict:
+    def compact(
+        self,
+        compress: Optional[bool] = None,
+        binary: Optional[bool] = None,
+    ) -> dict:
         """Merge the indexed segments into few large, sorted,
         duplicate-free segments; returns a summary dict.
 
         ``compress=True`` writes the replacement segments gzipped (and
         records gzip as the campaign's compression for future appends)
         — the in-place migration behind ``campaign compact
-        --compress``; ``None`` keeps the campaign's current setting.
+        --compress``; ``binary=True`` rewrites analytic ``*-mean``
+        rows as binary-columnar ``.bin`` segments instead (``campaign
+        compact --binary`` — full-result and hashed rows stay JSONL,
+        having no columnar form); ``binary=False`` converts a binary
+        campaign back to plain JSONL.  ``None`` for both keeps the
+        campaign's current setting.  The two migrations are mutually
+        exclusive.
+
+        Streaming: rows come off the k-way merge already sorted and
+        deduplicated and are flushed per ``COMPACT_SEGMENT_POINTS``
+        buffer, so peak memory is one output segment plus one input
+        segment — never the campaign.
 
         Crash-safe ordering: the replacement segments are fully written
         *before* the index switches over and the old files are removed.
@@ -740,32 +1032,56 @@ class CampaignStore:
         is unchanged, and duplicate rows resolve via latest-append-wins
         (the replacements sort after the originals).
         """
-        compression = (
-            self.compression
-            if compress is None
-            else (COMPRESSION_GZIP if compress else COMPRESSION_NONE)
-        )
-        latest: Dict[int, Tuple[list, str]] = {}
-        for index, row, encoding in self._raw_rows():
-            latest[index] = (row, encoding)
-        by_encoding: Dict[str, List[list]] = {}
-        for index in sorted(latest):
-            row, encoding = latest[index]
-            by_encoding.setdefault(encoding, []).append(row)
+        if binary and compress:
+            raise ValueError(
+                "compact: binary and gzip are mutually exclusive "
+                "segment forms"
+            )
+        if binary:
+            compression = COMPRESSION_BINARY
+        elif compress is not None:
+            compression = (
+                COMPRESSION_GZIP if compress else COMPRESSION_NONE
+            )
+        elif binary is False and self.compression == COMPRESSION_BINARY:
+            compression = COMPRESSION_NONE
+        else:
+            compression = self.compression
         index = self._index()
         old_files = [entry["file"] for entry in index["segments"]]
         before = len(old_files)
         new_segments: List[dict] = []
-        for encoding, rows in sorted(by_encoding.items()):
-            for start in range(0, len(rows), COMPACT_SEGMENT_POINTS):
-                part = rows[start:start + COMPACT_SEGMENT_POINTS]
-                ranges = _indices_to_ranges([int(r[0]) for r in part])
+        buffers: Dict[str, List[list]] = {}
+        points = 0
+
+        def flush(encoding: str) -> None:
+            rows = buffers.pop(encoding, [])
+            if not rows:
+                return
+            ranges = _indices_to_ranges([int(r[0]) for r in rows])
+            if encoding in _BIN_COLUMNS:
+                columns = list(zip(*(row[1:] for row in rows)))
+                _, entry = self._write_segment_binary(
+                    columns, encoding, ranges, len(rows), None,
+                    index["segments"] + new_segments,
+                )
+            else:
                 _, entry = self._write_segment(
-                    self._encode_rows(part, encoding), encoding, ranges,
-                    len(part), None, index["segments"] + new_segments,
+                    self._encode_rows(rows, encoding), encoding, ranges,
+                    len(rows), None, index["segments"] + new_segments,
                     compression=compression,
                 )
-                new_segments.append(entry)
+            new_segments.append(entry)
+
+        for _, row, encoding in self._merged_rows():
+            if compression == COMPRESSION_BINARY:
+                encoding = _BIN_FOR_MEAN.get(encoding, encoding)
+            buffers.setdefault(encoding, []).append(row)
+            points += 1
+            if len(buffers[encoding]) >= COMPACT_SEGMENT_POINTS:
+                flush(encoding)
+        for encoding in sorted(buffers):
+            flush(encoding)
         if compression != self.compression:
             # Future appends follow the migrated form: rewrite the
             # header before the index switch (a crash between the two
@@ -786,7 +1102,7 @@ class CampaignStore:
         return {
             "segments_before": before,
             "segments_after": len(new_segments),
-            "points": len(latest),
+            "points": points,
         }
 
     def stats(self) -> dict:
@@ -951,8 +1267,10 @@ def _bench_fast_columns(
         columns,
         len(indices),
     )
-    with span("store.encode"):
-        return [times.tolist()]
+    # Hand the kernel's array straight to the store: the segment
+    # writer serializes it whole (JSON dump or raw tobytes), so no
+    # per-point Python object ever materializes on this path.
+    return [times]
 
 
 def _pattern_fast_columns(
@@ -987,12 +1305,7 @@ def _pattern_fast_columns(
         columns,
         len(indices),
     )
-    with span("store.encode"):
-        return [
-            batch.times.tolist(),
-            batch.bytes_per_iteration.tolist(),
-            batch.n_links.tolist(),
-        ]
+    return batch.store_columns()
 
 
 def _pattern_columns(grid: ScenarioGrid, start: int, stop: int) -> List[list]:
@@ -1002,13 +1315,7 @@ def _pattern_columns(grid: ScenarioGrid, start: int, stop: int) -> List[list]:
 
     with span("campaign.materialize"):
         configs = [grid.scenario_at(i).spec for i in range(start, stop)]
-    batch = pattern_batch(configs)
-    with span("store.encode"):
-        return [
-            batch.times.tolist(),
-            batch.bytes_per_iteration.tolist(),
-            batch.n_links.tolist(),
-        ]
+    return pattern_batch(configs).store_columns()
 
 
 def _chunk_ranges(
@@ -1033,12 +1340,20 @@ def run_campaign(
     limit: Optional[int] = None,
     pool: str = "auto",
     submit_ahead: Optional[int] = None,
+    async_write: Optional[bool] = None,
     progress=None,
 ) -> dict:
     """Execute a campaign's missing points, chunk by chunk.
 
     Each completed chunk is appended to the store before the next one
     starts (streaming: an interrupted run resumes from its segments).
+    Inline (analytic) campaigns hand each chunk's columns to a
+    bounded-queue **async segment writer**
+    (:class:`~repro.runner.executor.AsyncSegmentWriter`) so
+    encode+write overlap the next chunk's kernel evaluation; the
+    writer appends FIFO on one thread, so the segments are
+    byte-identical to synchronous execution (``async_write=False``
+    forces the sync path; the default enables it for inline backends).
     Simulation-backed campaigns run their chunks through a bounded
     **submit-ahead pipeline**: up to ``submit_ahead`` chunks (default
     ~2x the workers, :func:`~repro.runner.planner.auto_submit_window`)
@@ -1051,17 +1366,24 @@ def run_campaign(
     points/s).
     """
     from collections import deque
+    from contextlib import nullcontext
 
     from ..backends import get_backend
-    from .executor import iter_chunk_results
-    from .planner import auto_chunk_size, auto_submit_window, pool_workers
+    from .executor import AsyncSegmentWriter, iter_chunk_results
+    from .planner import (
+        auto_chunk_size,
+        auto_submit_window,
+        auto_writer_depth,
+        pool_workers,
+    )
     from .scenario import result_to_dict
 
     grid = store.grid
     backend = get_backend(grid.backend)
-    n_missing = sum(
+    n_missing_total = sum(
         stop - start for start, stop in store.missing_ranges()
     )
+    n_missing = n_missing_total
     if limit is not None:
         n_missing = min(n_missing, limit)
     # One pool decision for the whole campaign (the pipeline spans
@@ -1096,6 +1418,10 @@ def run_campaign(
     executed = 0
     cached = 0
     chunks = 0
+    # Progress coverage is tracked locally, not re-read from the store:
+    # under the async writer the index is the writer thread's to touch,
+    # and a mid-run ``n_completed`` would race its index writes.
+    covered = store.n_points - n_missing_total
 
     def note_chunk(points: int) -> None:
         nonlocal chunks
@@ -1104,43 +1430,74 @@ def run_campaign(
         telemetry.count("campaign.points", points)
         if progress is not None:
             progress(
-                f"[campaign] {store.n_completed}/{store.n_points} "
+                f"[campaign] {covered}/{store.n_points} "
                 f"points ({chunks} chunk(s) this run)"
             )
+
+    use_async = (
+        backend.inline if async_write is None else bool(async_write)
+    ) and backend.inline
+    if telemetry.active_registry() is not None:
+        telemetry.gauge("store.writer.async", int(use_async))
 
     run_span = span("campaign.run", backend=grid.backend, kind=grid.kind)
     with run_span:
         if backend.inline:
-            for start, stop in _chunk_ranges(store, chunk_points, limit):
-                if fast and grid.kind == KIND_BENCH:
-                    store.append_columns(
-                        start, stop, _bench_fast_columns(grid, start, stop),
-                        ENC_BENCH_COLS, backend=grid.backend,
-                    )
-                elif grid.kind == KIND_PATTERN and grid.backend == "analytic":
-                    columns_for = (
-                        _pattern_fast_columns if fast else _pattern_columns
-                    )
-                    store.append_columns(
-                        start, stop, columns_for(grid, start, stop),
-                        ENC_PATTERN_COLS, backend=grid.backend,
-                    )
-                else:
-                    with span("campaign.materialize"):
-                        scenarios = [
-                            grid.scenario_at(i) for i in range(start, stop)
+            writer_ctx = (
+                AsyncSegmentWriter(depth=auto_writer_depth(chunk_points))
+                if use_async
+                else nullcontext()
+            )
+            with writer_ctx as writer:
+
+                def submit(fn, *fn_args, **fn_kwargs):
+                    if writer is not None:
+                        writer.submit(fn, *fn_args, **fn_kwargs)
+                    else:
+                        fn(*fn_args, **fn_kwargs)
+
+                for start, stop in _chunk_ranges(store, chunk_points, limit):
+                    if fast and grid.kind == KIND_BENCH:
+                        submit(
+                            store.append_columns,
+                            start, stop,
+                            _bench_fast_columns(grid, start, stop),
+                            ENC_BENCH_COLS, backend=grid.backend,
+                        )
+                    elif (
+                        grid.kind == KIND_PATTERN
+                        and grid.backend == "analytic"
+                    ):
+                        columns_for = (
+                            _pattern_fast_columns if fast else _pattern_columns
+                        )
+                        submit(
+                            store.append_columns,
+                            start, stop, columns_for(grid, start, stop),
+                            ENC_PATTERN_COLS, backend=grid.backend,
+                        )
+                    else:
+                        with span("campaign.materialize"):
+                            scenarios = [
+                                grid.scenario_at(i)
+                                for i in range(start, stop)
+                            ]
+                        results = backend.run_batch(scenarios)
+                        rows = [
+                            [
+                                start + j,
+                                result_to_dict(scenarios[j], results[j]),
+                            ]
+                            for j in range(len(scenarios))
                         ]
-                    results = backend.run_batch(scenarios)
-                    rows = [
-                        [start + j, result_to_dict(scenarios[j], results[j])]
-                        for j in range(len(scenarios))
-                    ]
-                    store.append_chunk(
-                        rows, ENC_RESULT, [(start, stop)],
-                        backend=grid.backend,
-                    )
-                executed += stop - start
-                note_chunk(stop - start)
+                        submit(
+                            store.append_chunk,
+                            rows, ENC_RESULT, [(start, stop)],
+                            backend=grid.backend,
+                        )
+                    executed += stop - start
+                    covered += stop - start
+                    note_chunk(stop - start)
         else:
             window = (
                 auto_submit_window(workers)
@@ -1184,6 +1541,7 @@ def run_campaign(
                 )
                 cached += (stop - start) - len(cold)
                 executed += len(cold)
+                covered += stop - start
                 telemetry.count("campaign.points_cached", (stop - start) - len(cold))
                 note_chunk(len(cold))
 

@@ -5,9 +5,15 @@ three pipelines and records each throughput, so the whole point of the
 batched refactor is a recorded, regenerable number instead of a claim:
 
 * **batched** — the campaign pipeline end-to-end: grid-index decode →
-  vectorized kernel → columnar JSONL segments.  For ``--kind pattern``
-  this is the columns-first pattern fast path (topology summaries
-  cached per unique geometry, no per-point config objects);
+  vectorized kernel → columnar JSONL segments, written synchronously
+  (the PR-5 columns-first status quo).  For ``--kind pattern`` this is
+  the columns-first pattern fast path (topology summaries cached per
+  unique geometry, no per-point config objects);
+* **binary campaign** (bench kind, ``binary_campaign`` section) — the
+  same grid through binary ``.bin`` segments plus the async segment
+  writer (``speedup_vs_jsonl`` is binary+async vs the batched row
+  above), with a ``read_path`` section timing a full ``iter_rows``
+  drain of both stores through the streaming k-way merge;
 * **per-point pipeline** — the per-point status quo for a persisted
   campaign: one ``Backend.run()`` per point, one content-hashed JSON
   file per point in a v1 :class:`~repro.runner.store.ResultStore` (the
@@ -159,9 +165,10 @@ def _benchmark_bench(work: Path, n_sizes: int) -> dict:
     warm = grid.scenario_at(0)
     result_to_dict(warm, execute(warm))
 
+    # The PR-5 status quo: columnar JSONL segments, synchronous writes.
     with stopwatch() as batched:
         store = CampaignStore.create(work / "store", grid)
-        summary = run_campaign(store)
+        summary = run_campaign(store, async_write=False)
     if summary["executed"] != len(grid):
         raise RuntimeError(
             f"campaign root {work / 'store'} already held "
@@ -170,6 +177,39 @@ def _benchmark_bench(work: Path, n_sizes: int) -> dict:
             f"benchmark against an empty --root"
         )
     store_stats = store.stats()
+
+    # Binary .bin segments + the async segment writer (the current
+    # defaults for a --binary campaign): same grid, same chunking.
+    with stopwatch() as binary_run:
+        bin_store = CampaignStore.create(
+            work / "store-bin", grid, compression="binary"
+        )
+        bin_summary = run_campaign(bin_store)
+    if bin_summary["executed"] != len(grid):
+        raise RuntimeError(
+            f"campaign root {work / 'store-bin'} was not empty — "
+            f"benchmark against an empty --root"
+        )
+    bin_stats = bin_store.stats()
+    binary_pps = len(grid) / binary_run.wall
+
+    # Read path: a full iter_rows drain through the streaming k-way
+    # merge, per store format.
+    def _drain(campaign_store: CampaignStore) -> dict:
+        with stopwatch() as drain:
+            n_rows = sum(1 for _ in campaign_store.iter_rows())
+        if n_rows != len(grid):
+            raise RuntimeError(
+                f"{campaign_store.root}: drained {n_rows} of "
+                f"{len(grid)} rows"
+            )
+        return {
+            "wall_s": round(drain.wall, 4),
+            "points_per_s": round(n_rows / drain.wall, 1),
+        }
+
+    read_jsonl = _drain(store)
+    read_binary = _drain(bin_store)
 
     # Per-point pipeline on a uniform subsample, scaled: one
     # Backend.run() per point, one content-hashed file per point.
@@ -206,11 +246,29 @@ def _benchmark_bench(work: Path, n_sizes: int) -> dict:
         "python": platform.python_version(),
         "env": environment_provenance(),
         "batched": {
+            "description": "columns-first JSONL segments, synchronous "
+                           "writes (the PR-5 pipeline)",
             "wall_s": round(batched.wall, 4),
             "points_per_s": round(batched_pps, 1),
             "chunks": summary["chunks"],
             "segments": store_stats["segments"],
             "store_bytes": store_stats["total_bytes"],
+        },
+        "binary_campaign": {
+            "description": "binary .bin column segments + async "
+                           "segment writer (--binary defaults)",
+            "wall_s": round(binary_run.wall, 4),
+            "points_per_s": round(binary_pps, 1),
+            "chunks": bin_summary["chunks"],
+            "segments": bin_stats["segments"],
+            "store_bytes": bin_stats["total_bytes"],
+            "speedup_vs_jsonl": round(binary_pps / batched_pps, 2),
+        },
+        "read_path": {
+            "description": "full iter_rows drain via the streaming "
+                           "k-way merge, per store format",
+            "jsonl": read_jsonl,
+            "binary": read_binary,
         },
         "per_point_pipeline": {
             "description": "one Backend.run() + one content-hashed JSON "

@@ -33,8 +33,10 @@ single simulation.
 from __future__ import annotations
 
 import multiprocessing
+import queue
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Iterable, List, Optional, Sequence
 
 from .. import telemetry
 from ..telemetry import span
@@ -49,6 +51,7 @@ from .scenario import (
 from .store import ResultStore
 
 __all__ = [
+    "AsyncSegmentWriter",
     "ParallelExecutor",
     "RunReport",
     "iter_chunk_results",
@@ -102,6 +105,117 @@ def _execute_chunk_metered(payloads: List[dict]):
         registry.snapshot_and_reset() if registry is not None else None
     )
     return results, snapshot
+
+
+class AsyncSegmentWriter:
+    """A bounded-queue writer thread: store appends overlap compute.
+
+    The campaign profile attributes half the analytic fast path's wall
+    to ``store.encode`` + ``store.write`` — work that is serial with
+    the kernel only because the chunk loop calls the store inline.
+    This writer moves those calls onto one FIFO thread behind a bounded
+    queue: the producer submits ``(fn, args)`` work items (already
+    holding the kernel's output arrays) and immediately starts the next
+    chunk's compute while the writer encodes and appends.
+
+    Determinism: a *single* consumer thread drains the queue in
+    submission order, so segment names, contents, and index updates are
+    byte-identical to calling ``fn(*args)`` inline — asserted by the
+    sync-vs-async store tests.  Error handling: a failed append is
+    re-raised in the producer (on the next :meth:`submit` or at
+    :meth:`close`), and the queue keeps draining after a failure so the
+    producer can never deadlock against a full queue.
+
+    Telemetry: the writer thread records into its *own* registry
+    (:func:`~repro.telemetry.set_thread_registry` — the shared span
+    stack is not thread-safe) and the owner merges the snapshot into
+    the parent registry at :meth:`close`; the producer side records
+    ``store.writer.stall`` spans when it blocks on a full queue and a
+    ``store.writer.queue_depth`` histogram per submit.
+    """
+
+    _CLOSE = object()
+
+    def __init__(self, depth: int = 4):
+        self.depth = max(1, int(depth))
+        self._queue: queue.Queue = queue.Queue(maxsize=self.depth)
+        self._error: Optional[BaseException] = None
+        self._parent_registry = telemetry.active_registry()
+        self._registry = (
+            telemetry.MetricsRegistry()
+            if self._parent_registry is not None
+            else None
+        )
+        self._thread = threading.Thread(
+            target=self._run, name="segment-writer", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        if self._registry is not None:
+            telemetry.set_thread_registry(self._registry)
+        try:
+            while True:
+                item = self._queue.get()
+                if item is self._CLOSE:
+                    return
+                if self._error is None:
+                    fn, args, kwargs = item
+                    try:
+                        fn(*args, **kwargs)
+                    except BaseException as exc:  # re-raised producer-side
+                        self._error = exc
+        finally:
+            if self._registry is not None:
+                telemetry.set_thread_registry(None)
+
+    def submit(self, fn: Callable, *args: Any, **kwargs: Any) -> None:
+        """Enqueue ``fn(*args, **kwargs)``; blocks when ``depth`` items
+        are already pending (backpressure keeps memory bounded)."""
+        if self._error is not None:
+            self._raise()
+        item = (fn, args, kwargs)
+        if self._queue.full():
+            with span("store.writer.stall"):
+                self._queue.put(item)
+        else:
+            self._queue.put(item)
+        telemetry.observe("store.writer.queue_depth", self._queue.qsize())
+
+    def close(self) -> None:
+        """Drain the queue, stop the thread, merge telemetry, and
+        re-raise any deferred append error.  Idempotent."""
+        if self._thread.is_alive():
+            self._queue.put(self._CLOSE)
+        self._thread.join()
+        if (
+            self._registry is not None
+            and self._parent_registry is not None
+        ):
+            self._parent_registry.merge_snapshot(
+                self._registry.snapshot_and_reset()
+            )
+        if self._error is not None:
+            self._raise()
+
+    def _raise(self) -> None:
+        error, self._error = self._error, None
+        raise error
+
+    def __enter__(self) -> "AsyncSegmentWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self.close()
+        else:
+            # The producer is already failing: drain without masking
+            # its exception with a (likely secondary) writer error.
+            try:
+                self.close()
+            except BaseException:
+                pass
+        return False
 
 
 def iter_chunk_results(

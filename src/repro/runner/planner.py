@@ -33,6 +33,7 @@ __all__ = [
     "plan_execution",
     "auto_chunk_size",
     "auto_submit_window",
+    "auto_writer_depth",
     "pool_workers",
 ]
 
@@ -66,6 +67,25 @@ def auto_submit_window(workers: int) -> int:
     ordered consumer must buffer) stays bounded.
     """
     return max(2, 2 * max(1, workers))
+
+
+#: Chunks the async segment writer may hold queued (plus the one it is
+#: writing).  One compute thread feeds one writer thread, so a short
+#: queue already decouples the two; each queued analytic chunk pins its
+#: column arrays (~8–24 bytes/point), so deep queues only cost memory.
+WRITER_QUEUE_DEPTH = 4
+
+
+def auto_writer_depth(chunk_points: int) -> int:
+    """Queue depth for the campaign's async segment writer.
+
+    The default keeps at most ``WRITER_QUEUE_DEPTH`` chunks of column
+    arrays pinned; huge chunks (>= 2**18 points) drop to a depth of 2 —
+    at that size the queue is pure memory with no extra overlap to buy.
+    """
+    if chunk_points >= (1 << 18):
+        return 2
+    return WRITER_QUEUE_DEPTH
 
 
 def pool_workers(

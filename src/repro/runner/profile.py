@@ -48,6 +48,7 @@ STAGE_SPANS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("materialize", ("campaign.materialize",)),
     ("compute", ("executor.compute",)),
     ("stall", ("executor.stall",)),
+    ("writer-stall", ("store.writer.stall",)),
 )
 
 #: What to do about a dominant stage (the actionable one-liner).
@@ -66,6 +67,8 @@ _STAGE_HINTS: Dict[str, str] = {
                "(--jobs N)",
     "stall": "ordered-consume stall dominates; raise --submit-ahead or "
              "rebalance chunk sizes",
+    "writer-stall": "the async segment writer's queue is the bottleneck; "
+                    "the disk (or gzip) cannot keep up with the kernel",
     "other": "uninstrumented time dominates; the span coverage needs "
              "a closer look before trusting this profile",
 }

@@ -37,6 +37,7 @@ import json
 import math
 import os
 import platform
+import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, IO, Iterator, List, Mapping, Optional, Tuple
@@ -53,6 +54,7 @@ __all__ = [
     "observe",
     "read_metrics_jsonl",
     "set_registry",
+    "set_thread_registry",
     "set_trace_sink",
     "span",
     "stopwatch",
@@ -314,10 +316,22 @@ class MetricsRegistry:
 _ACTIVE: Optional[MetricsRegistry] = None
 _TRACE_SINK: Optional[Any] = None
 
+#: Per-thread registry override.  A :class:`MetricsRegistry` is not
+#: thread-safe (the span stack is one plain list), so a helper thread
+#: recording into the process-global registry would corrupt span
+#: nesting.  Instead a thread installs its *own* registry here
+#: (:func:`set_thread_registry`), records locally, and its owner merges
+#: the snapshot into the parent registry when the thread finishes —
+#: the same delta-merge protocol pool workers already use.
+_THREAD_LOCAL = threading.local()
+
 
 def active_registry() -> Optional[MetricsRegistry]:
-    """The registry instrumentation currently records into (or None)."""
-    return _ACTIVE
+    """The registry instrumentation currently records into (or None):
+    the calling thread's override if one is installed, else the
+    process-global registry."""
+    reg = getattr(_THREAD_LOCAL, "registry", None)
+    return reg if reg is not None else _ACTIVE
 
 
 def set_registry(registry: Optional[MetricsRegistry]):
@@ -325,6 +339,15 @@ def set_registry(registry: Optional[MetricsRegistry]):
     global _ACTIVE
     previous = _ACTIVE
     _ACTIVE = registry
+    return previous
+
+
+def set_thread_registry(registry: Optional[MetricsRegistry]):
+    """Install ``registry`` as *this thread's* override; returns the
+    previous override.  ``None`` removes the override (falling back to
+    the process-global registry)."""
+    previous = getattr(_THREAD_LOCAL, "registry", None)
+    _THREAD_LOCAL.registry = registry
     return previous
 
 
@@ -346,30 +369,33 @@ class using_registry:
 def span(name: str, **tags: Any):
     """A wall-time region under the active registry.
 
-    The disabled path — no active registry — is one module-global read
-    plus a shared no-op singleton, cheap enough for the campaign hot
-    loop (gated in CI against the campaign-bench throughput floor).
+    The disabled path — no active registry — is one thread-local
+    getattr, one module-global read, and a shared no-op singleton,
+    cheap enough for the campaign hot loop (gated in CI against the
+    campaign-bench throughput floor).
     """
-    reg = _ACTIVE
+    reg = getattr(_THREAD_LOCAL, "registry", None)
     if reg is None:
-        return _NULL_SPAN
+        reg = _ACTIVE
+        if reg is None:
+            return _NULL_SPAN
     return reg.span(name, **tags)
 
 
 def count(name: str, value: float = 1, **tags: Any) -> None:
-    reg = _ACTIVE
+    reg = active_registry()
     if reg is not None:
         reg.count(name, value, **tags)
 
 
 def gauge(name: str, value: float, **tags: Any) -> None:
-    reg = _ACTIVE
+    reg = active_registry()
     if reg is not None:
         reg.gauge(name, value, **tags)
 
 
 def observe(name: str, value: float, **tags: Any) -> None:
-    reg = _ACTIVE
+    reg = active_registry()
     if reg is not None:
         reg.observe(name, value, **tags)
 

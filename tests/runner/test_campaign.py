@@ -422,19 +422,22 @@ class TestPatternCampaignFastPath:
     def test_fast_and_config_paths_identical(self):
         """Both analytic pattern chunk builders produce the same
         columns, so the fast-path gate is purely a speed choice."""
+        import numpy as np
+
         from repro.runner.campaign import (
             _pattern_columns,
             _pattern_fast_columns,
         )
 
         grid = parse_grid_spec(pattern_spec())
-        assert _pattern_fast_columns(grid, 0, 97) == _pattern_columns(
-            grid, 0, 97
-        )
-        tail = len(grid) - 50
-        assert _pattern_fast_columns(grid, tail, len(grid)) == (
-            _pattern_columns(grid, tail, len(grid))
-        )
+        for start, stop in ((0, 97), (len(grid) - 50, len(grid))):
+            fast = _pattern_fast_columns(grid, start, stop)
+            slow = _pattern_columns(grid, start, stop)
+            assert len(fast) == len(slow) == 3
+            for fast_col, slow_col in zip(fast, slow):
+                assert np.array_equal(
+                    np.asarray(fast_col), np.asarray(slow_col)
+                )
 
     def test_fast_gate_covers_every_scalar_pattern_field(self):
         """Every PatternConfig field a grid axis can legally carry is
