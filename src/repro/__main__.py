@@ -53,6 +53,8 @@ Campaigns (streaming schema-v2 store; see README "Campaigns")::
     python -m repro campaign status camp/                    # coverage
     python -m repro campaign status camp/ --json             # machine-readable
     python -m repro campaign export camp/ --out points.jsonl
+    python -m repro campaign export camp/ --out cols.npz --format npz
+    python -m repro campaign report camp/ --slice approach=pt2pt_part
     python -m repro campaign compact camp/                   # merge segments
     python -m repro campaign compact camp/ --compress        # + gzip migration
     python -m repro campaign compact camp/ --binary          # + binary migration
@@ -542,14 +544,34 @@ def _campaign_parser() -> argparse.ArgumentParser:
                          help="emit the attribution as JSON")
 
     export = sub.add_parser(
-        "export", help="dump completed points as JSON-lines"
+        "export", help="dump completed points (JSON-lines or .npz)"
     )
     export.add_argument("root", metavar="DIR")
     export.add_argument("--out", default=None, metavar="PATH",
-                        help="target path (default: stdout)")
+                        help="target path (default: stdout; required "
+                             "for --format npz)")
     export.add_argument("--where", action="append", default=[],
                         metavar="FIELD=VALUE",
                         help="filter points by spec field (repeatable)")
+    export.add_argument("--format", choices=("jsonl", "npz"),
+                        default="jsonl",
+                        help="jsonl = one {index, assignment, result} "
+                             "record per line; npz = columnar arrays "
+                             "(indices, store columns, one decoded "
+                             "axis_<name> array per axis — analytic "
+                             "stores only, zero row dicts)")
+
+    report = sub.add_parser(
+        "report",
+        help="per-axis aggregate stats straight from columns",
+    )
+    report.add_argument("root", metavar="DIR")
+    report.add_argument("--slice", action="append", default=[],
+                        metavar="FIELD=VALUE", dest="slices",
+                        help="pin an axis/base field before grouping "
+                             "(repeatable; query filter semantics)")
+    report.add_argument("--json", action="store_true",
+                        help="emit the report as JSON")
 
     compact = sub.add_parser(
         "compact", help="merge segments into few sorted files"
@@ -744,12 +766,61 @@ def _run_campaign_cli(args) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        if args.format == "npz":
+            if not args.out:
+                print("error: --format npz requires --out PATH",
+                      file=sys.stderr)
+                return 2
+            try:
+                count = store.export_npz(args.out, where=filters or None)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print(f"[exported {count} point(s) to {args.out}]",
+                  file=sys.stderr)
+            return 0
         target = args.out if args.out else sys.stdout
         try:
             count = store.export_jsonl(target, where=filters or None)
         except BrokenPipeError:  # e.g. piped into head
             return 0
         print(f"[exported {count} point(s)]", file=sys.stderr)
+        return 0
+    if args.action == "report":
+        from .runner.campaign import slice_report
+
+        try:
+            slices = _parse_where(args.slices)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        try:
+            report = slice_report(store, slices or None)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            try:
+                print(_json.dumps(report, indent=2, sort_keys=True))
+            except BrokenPipeError:  # e.g. piped into head
+                pass
+            return 0
+        pinned = ", ".join(
+            f"{k}={v}" for k, v in report["slice"].items()
+        ) or "(none)"
+        print(f"campaign report [{report['kind']}] "
+              f"slice {pinned}: {report['points']} point(s)")
+        if "times_us" in report:
+            t = report["times_us"]
+            print(f"  times: mean {t['mean']:.3f}us "
+                  f"min {t['min']:.3f}us max {t['max']:.3f}us")
+        for axis, groups in report["axes"].items():
+            print(f"  by {axis}:")
+            for g in groups:
+                print(f"    {g['value']!r:>16}: n={g['n']:<7} "
+                      f"mean {g['mean_us']:.3f}us "
+                      f"min {g['min_us']:.3f}us "
+                      f"max {g['max_us']:.3f}us")
         return 0
     if args.action == "compact":
         if args.compress and args.binary:
@@ -825,6 +896,17 @@ def _run_campaign_bench(args) -> int:
             f"bare execute: "
             f"{section['per_point_execute_only']['points_per_s']:,.0f} "
             f"points/s"
+        )
+        reads = section["read_path"]
+        print(
+            f"read drain: rows jsonl "
+            f"{reads['jsonl']['points_per_s']:,.0f} / binary "
+            f"{reads['binary']['points_per_s']:,.0f} points/s; "
+            f"columnar jsonl "
+            f"{reads['columnar']['jsonl']['points_per_s']:,.0f} / binary "
+            f"{reads['columnar']['binary']['points_per_s']:,.0f} points/s "
+            f"(x{reads['columnar']['binary']['speedup_vs_row_drain']:.1f} "
+            f"vs binary rows)"
         )
         print(
             f"batched speedup: x{section['speedup']:.1f} vs pipeline, "

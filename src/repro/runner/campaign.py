@@ -55,6 +55,15 @@ are opened lazily when the merge cursor reaches their first covered
 index — so :meth:`CampaignStore.iter_rows` and
 :meth:`CampaignStore.compact` hold O(one segment) in memory instead of
 materializing a per-point dict for the whole campaign.
+
+All-analytic stores additionally get a **columnar bulk-read** path
+(:meth:`CampaignStore.iter_columns` / :meth:`CampaignStore.read_columns`):
+the same latest-wins merge decided at the *index-range* level from the
+index metadata alone, surviving pieces sliced straight off memmapped
+column blocks, ndarrays end-to-end.  It is the substrate for
+:meth:`CampaignStore.query`'s vectorized path, ``export --format npz``,
+binary→binary :meth:`CampaignStore.compact`, and
+``campaign report --slice`` (:func:`slice_report`).
 """
 
 from __future__ import annotations
@@ -80,8 +89,10 @@ from .io import (
     atomic_write_text,
     open_segment_text,
     read_binary_segment,
+    read_columnar_text_segment,
     read_segment_header,
     write_jsonl,
+    write_npz,
 )
 from .scenario import (
     GRID_SCHEMA,
@@ -93,10 +104,12 @@ from .scenario import (
 
 __all__ = [
     "CAMPAIGN_SCHEMA",
+    "DEFAULT_READ_CHUNK",
     "SEGMENT_SCHEMA",
     "CampaignStore",
     "parse_grid_spec",
     "run_campaign",
+    "slice_report",
 ]
 
 CAMPAIGN_SCHEMA = "repro.campaign/v2"
@@ -153,6 +166,29 @@ _ROW_ENC_FOR_BIN = {
     ENC_BENCH_BIN: ENC_BENCH_MEAN,
     ENC_PATTERN_BIN: ENC_PATTERN_MEAN,
 }
+
+#: Scenario kind -> its binary encoding (and therefore its column
+#: layout, via :data:`_BIN_COLUMNS`) — the one columnar schema every
+#: analytic segment of that kind maps onto.
+_KIND_BIN = {
+    KIND_BENCH: ENC_BENCH_BIN,
+    KIND_PATTERN: ENC_PATTERN_BIN,
+}
+
+#: Encodings with a columnar form: everything the analytic pipeline
+#: writes (``*-bin``, ``*-cols``, ``*-mean``).  A store whose segments
+#: all speak one of these supports the zero-materialization columnar
+#: read path (:meth:`CampaignStore.iter_columns`); full-``result`` and
+#: hashed rows do not (their payload is an arbitrary dict per point).
+_COLUMNAR_ENCODINGS = (
+    set(_BIN_COLUMNS) | set(_BIN_FOR_COLS) | set(_BIN_FOR_MEAN)
+)
+
+#: Points per :meth:`CampaignStore.iter_columns` chunk when the caller
+#: does not pin one.  Large enough that per-chunk overhead (concat,
+#: telemetry) amortizes to nothing; small enough that a chunk of all
+#: columns stays a few MB.
+DEFAULT_READ_CHUNK = 65536
 
 #: Points per inline (analytic) campaign chunk when the caller does
 #: not pin one; simulation chunks are sized by the planner's
@@ -246,6 +282,68 @@ def _indices_to_ranges(indices: Sequence[int]) -> List[Tuple[int, int]]:
         else:
             runs.append((i, i + 1))
     return runs
+
+
+def _subtract_ranges(
+    start: int, stop: int, covered: Sequence[Tuple[int, int]]
+) -> List[Tuple[int, int]]:
+    """Parts of [start, stop) not covered by the merged, sorted
+    ``covered`` ranges — the survivor arithmetic of the range-level
+    latest-wins merge."""
+    out: List[Tuple[int, int]] = []
+    cursor = start
+    for c_start, c_stop in covered:
+        if c_stop <= cursor:
+            continue
+        if c_start >= stop:
+            break
+        if c_start > cursor:
+            out.append((cursor, min(c_start, stop)))
+        cursor = max(cursor, c_stop)
+        if cursor >= stop:
+            break
+    if cursor < stop:
+        out.append((cursor, stop))
+    return out
+
+
+def _ranges_to_index_array(ranges: Sequence[Sequence[int]]):
+    """Sorted [start, stop) ranges -> one ascending int64 index array."""
+    import numpy as np
+
+    if not ranges:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(
+        [np.arange(int(s), int(e), dtype=np.int64) for s, e in ranges]
+    )
+
+
+def _index_array_to_ranges(indices) -> List[Tuple[int, int]]:
+    """Ascending int64 index array -> contiguous [start, stop) runs
+    (the vectorized :func:`_indices_to_ranges`: one ``diff`` over the
+    array instead of a Python loop per point)."""
+    import numpy as np
+
+    if not len(indices):
+        return []
+    breaks = np.flatnonzero(np.diff(indices) != 1)
+    starts = np.concatenate(([0], breaks + 1))
+    stops = np.concatenate((breaks, [len(indices) - 1]))
+    return [
+        (int(indices[a]), int(indices[b]) + 1)
+        for a, b in zip(starts, stops)
+    ]
+
+
+def _row_index(line: str) -> int:
+    """The grid index of one JSONL row line without parsing the row:
+    rows are ``[index, ...]`` with at least two elements, so the index
+    is the text between ``[`` and the first comma.  Falls back to a
+    full parse on anything unexpected."""
+    try:
+        return int(line[line.index("[") + 1 : line.index(",")])
+    except ValueError:
+        return int(json.loads(line)[0])
 
 
 # ---------------------------------------------------------------------------
@@ -844,27 +942,55 @@ class CampaignStore:
                     ], row_encoding
                     pos += 1
             return
+        if encoding in (ENC_BENCH_COLS, ENC_PATTERN_COLS):
+            header, columns = read_columnar_text_segment(path)
+            start = header["ranges"][0][0]
+            row_encoding = (
+                ENC_BENCH_MEAN
+                if encoding == ENC_BENCH_COLS
+                else ENC_PATTERN_MEAN
+            )
+            for j, values in enumerate(zip(*columns)):
+                yield start + j, [start + j, *values], row_encoding
+            return
+        # Append paths write rows index-sorted; a v2 store written by
+        # an older session may not be.  Sortedness is checked first on
+        # the index prefixes alone (no row parse, O(rows) ints): the
+        # sorted common case then *streams* — one row parsed and
+        # yielded at a time, duplicate earlier occurrences skipped
+        # without ever parsing them — instead of materializing the
+        # whole segment before the first yield.  Only a genuinely
+        # unsorted segment pays the load-everything-and-sort fallback.
+        indices: List[int] = []
+        sorted_ok = True
         with open_segment_text(path) as handle:
-            header = json.loads(handle.readline())
-            if encoding in (ENC_BENCH_COLS, ENC_PATTERN_COLS):
-                columns = [
-                    json.loads(line) for line in handle if line.strip()
-                ]
-                start = header["ranges"][0][0]
-                row_encoding = (
-                    ENC_BENCH_MEAN
-                    if encoding == ENC_BENCH_COLS
-                    else ENC_PATTERN_MEAN
-                )
-                for j, values in enumerate(zip(*columns)):
-                    yield start + j, [start + j, *values], row_encoding
-                return
+            handle.readline()
+            for line in handle:
+                if not line.strip():
+                    continue
+                idx = _row_index(line)
+                if indices and idx < indices[-1]:
+                    sorted_ok = False
+                    break
+                indices.append(idx)
+        if sorted_ok:
+            with open_segment_text(path) as handle:
+                handle.readline()
+                k = 0
+                for line in handle:
+                    if not line.strip():
+                        continue
+                    idx = indices[k]
+                    k += 1
+                    if k < len(indices) and indices[k] == idx:
+                        continue  # a later same-index row wins
+                    yield idx, json.loads(line), encoding
+            return
+        with open_segment_text(path) as handle:
+            handle.readline()
             rows = [json.loads(line) for line in handle if line.strip()]
-        # Append paths write rows index-sorted, but a v2 store written
-        # by an older session may not be: a stable sort costs nothing
-        # when already ordered and restores the merge invariant when
-        # not (same-index duplicates keep file order, so the later
-        # occurrence wins below).
+        # Stable sort: same-index duplicates keep file order, so the
+        # later occurrence wins below — the pre-streaming semantics.
         rows.sort(key=lambda row: int(row[0]))
         for k, row in enumerate(rows):
             if k + 1 < len(rows) and int(rows[k + 1][0]) == int(row[0]):
@@ -946,6 +1072,319 @@ class CampaignStore:
     def assignment_at(self, index: int) -> Dict[str, Any]:
         return self.grid.assignment_at(index)
 
+    # -- columnar reads ------------------------------------------------------
+    def column_names(self) -> Tuple[str, ...]:
+        """The store's columnar schema for its kind: ``("times",)`` for
+        bench grids, ``("times", "bytes_per_iteration", "n_links")``
+        for pattern grids — the same layout binary segments persist."""
+        layout = _BIN_COLUMNS[_KIND_BIN[self.header["kind"]]]
+        return tuple(name for name, _ in layout)
+
+    def _all_columnar(self) -> bool:
+        """True when every indexed segment has a columnar form (the
+        analytic encodings) — the gate for the zero-materialization
+        read path."""
+        entries = self._index()["segments"]
+        return all(
+            entry["encoding"] in _COLUMNAR_ENCODINGS for entry in entries
+        )
+
+    def _survivor_plan(self) -> Tuple[List[Tuple[int, int, int]], List[dict]]:
+        """The latest-wins merge, decided at the *index-range* level.
+
+        Walks the segments newest-first, claiming each one's covered
+        ranges minus whatever newer segments already claimed: the
+        result is a list of disjoint ``(start, stop, seq)`` pieces,
+        sorted by start, where ``seq`` is the segment that owns those
+        points — computed entirely from ``index.json`` metadata, before
+        a single segment file is opened.  Row-level reads resolve the
+        same duplicates one heap pop at a time; here a million-point
+        overlap costs one range subtraction.
+        """
+        entries = self._index()["segments"]
+        covered: List[Tuple[int, int]] = []
+        pieces: List[Tuple[int, int, int]] = []
+        for seq in range(len(entries) - 1, -1, -1):
+            ranges = [
+                (int(s), int(e)) for s, e in entries[seq]["ranges"]
+            ]
+            for start, stop in ranges:
+                pieces.extend(
+                    (p_start, p_stop, seq)
+                    for p_start, p_stop in _subtract_ranges(
+                        start, stop, covered
+                    )
+                )
+            covered = _merge_ranges(covered + ranges)
+        pieces.sort()
+        return pieces, entries
+
+    def _segment_columns(self, entry: dict):
+        """One segment as ``(index_array, {name: column array})``,
+        ascending, deduplicated.
+
+        Binary segments slice straight off read-only memmaps (zero
+        parse, zero copy); columnar JSONL decodes one whole-column
+        ``json.loads`` per column; ``*-mean`` rows fall back to the row
+        reader and columnize its output.  Every form lands on the
+        kind's one column layout (:meth:`column_names`).
+        """
+        import numpy as np
+
+        path = self.root / entry["file"]
+        encoding = entry["encoding"]
+        layout = _BIN_COLUMNS[
+            _BIN_FOR_COLS.get(encoding)
+            or _BIN_FOR_MEAN.get(encoding)
+            or encoding
+        ]
+        with span("store.read.segment"):
+            if encoding in _BIN_COLUMNS:
+                header, raw = read_binary_segment(path)
+                indices = _ranges_to_index_array(header["ranges"])
+                columns = {
+                    name: column
+                    for (name, _), column in zip(layout, raw)
+                }
+            elif encoding in _BIN_FOR_COLS:
+                header, raw = read_columnar_text_segment(path)
+                indices = _ranges_to_index_array(header["ranges"])
+                columns = {
+                    name: np.asarray(column, dtype=dtype)
+                    for (name, dtype), column in zip(layout, raw)
+                }
+            else:
+                rows = [
+                    row for _, row, _ in self._segment_rows(entry)
+                ]
+                indices = np.array(
+                    [int(row[0]) for row in rows], dtype=np.int64
+                )
+                columns = {
+                    name: np.array(
+                        [row[1 + k] for row in rows], dtype=dtype
+                    )
+                    for k, (name, dtype) in enumerate(layout)
+                }
+        return indices, columns
+
+    def _filter_checks(
+        self, filters: Optional[Mapping[str, Any]]
+    ) -> Optional[List[Tuple[int, int, frozenset]]]:
+        """Axis filters as ``(stride, size, code set)`` checks against
+        the row-major index.  Base-field filters (and unknown names)
+        resolve here: ``None`` means no point can ever match."""
+        grid = self.grid
+        strides = grid._strides()
+        checks: List[Tuple[int, int, frozenset]] = []
+        for name, value in (filters or {}).items():
+            if name in grid.axes:
+                codes = frozenset(
+                    i
+                    for i, v in enumerate(grid.axes[name])
+                    if v == value
+                )
+                if not codes:
+                    return None
+                checks.append(
+                    (strides[name], len(grid.axes[name]), codes)
+                )
+            elif name not in grid.base or grid.base[name] != value:
+                return None
+        return checks
+
+    @staticmethod
+    def _checks_mask(indices, checks):
+        """Vectorized form of the digit-wise filter: one ``//`` + ``%``
+        per check over the whole index array."""
+        import numpy as np
+
+        mask = np.ones(len(indices), dtype=bool)
+        for stride, size, codes in checks:
+            digits = (indices // stride) % size
+            if len(codes) == 1:
+                mask &= digits == next(iter(codes))
+            else:
+                mask &= np.isin(digits, np.fromiter(codes, np.int64))
+        return mask
+
+    def iter_columns(
+        self,
+        chunk_size: int = DEFAULT_READ_CHUNK,
+        where: Optional[Mapping[str, Any]] = None,
+    ) -> Iterator[Tuple[Any, Dict[str, Any]]]:
+        """Yield ``(index_array, {name: column array})`` chunks,
+        ascending, one value per covered point, latest-append-wins —
+        the columnar twin of :meth:`iter_rows`, with ndarrays
+        end-to-end and no per-point Python objects anywhere.
+
+        The merge happens at the index-range level
+        (:meth:`_survivor_plan`), then each surviving piece is one
+        array slice off its segment's columns — memmap views for
+        binary segments, so a full drain never materializes more than
+        one chunk (plus one decoded text segment when the store mixes
+        JSONL in).  Chunks hold at most ``chunk_size`` points; the
+        final chunk holds the remainder.  ``where`` applies the
+        :meth:`query` filter semantics vectorized, so filtered-out
+        points are never copied out of their segment.
+
+        Requires every segment to carry a columnar encoding (the
+        analytic ``*-bin``/``*-cols``/``*-mean`` forms): a store
+        holding full-``result`` rows raises ``ValueError`` — those
+        points have no fixed column schema; use :meth:`iter_rows`.
+        """
+        import numpy as np
+
+        chunk_size = max(1, int(chunk_size))
+        checks = self._filter_checks(where)
+        if checks is None:
+            return
+        with span("store.read.plan"):
+            pieces, entries = self._survivor_plan()
+            foreign = {
+                entry["encoding"]
+                for entry in entries
+                if entry["encoding"] not in _COLUMNAR_ENCODINGS
+            }
+            if foreign:
+                raise ValueError(
+                    f"store holds non-columnar segment encoding(s) "
+                    f"{sorted(foreign)}; only analytic campaigns "
+                    f"support columnar reads — use iter_rows()"
+                )
+            # One decoded-segment cache, evicted as soon as the plan
+            # has no further piece for a segment: peak memory is the
+            # chunk buffer plus the segments the current piece overlaps.
+            last_use = {
+                seq: i for i, (_, _, seq) in enumerate(pieces)
+            }
+        names = self.column_names()
+        buf_idx: List[Any] = []
+        buf_cols: Dict[str, List[Any]] = {name: [] for name in names}
+        buffered = 0
+        cache: Dict[int, Tuple[Any, Dict[str, Any]]] = {}
+
+        def assembled() -> Tuple[Any, Dict[str, Any]]:
+            indices = (
+                buf_idx[0]
+                if len(buf_idx) == 1
+                else np.concatenate(buf_idx)
+            )
+            columns = {
+                name: (
+                    parts[0]
+                    if len(parts) == 1
+                    else np.concatenate(parts)
+                )
+                for name, parts in buf_cols.items()
+            }
+            return indices, columns
+
+        def emit(indices, columns):
+            telemetry.count("store.read.chunks")
+            telemetry.count("store.read.points", len(indices))
+            return indices, columns
+
+        for i, (start, stop, seq) in enumerate(pieces):
+            if seq not in cache:
+                cache[seq] = self._segment_columns(entries[seq])
+            seg_idx, seg_cols = cache[seq]
+            if last_use[seq] == i:
+                del cache[seq]
+            lo = int(np.searchsorted(seg_idx, start))
+            hi = int(np.searchsorted(seg_idx, stop))
+            if hi == lo:
+                continue
+            piece_idx = seg_idx[lo:hi]
+            piece_cols = {
+                name: seg_cols[name][lo:hi] for name in names
+            }
+            if checks:
+                mask = self._checks_mask(piece_idx, checks)
+                if not mask.any():
+                    continue
+                if not mask.all():
+                    piece_idx = piece_idx[mask]
+                    piece_cols = {
+                        name: column[mask]
+                        for name, column in piece_cols.items()
+                    }
+            buf_idx.append(piece_idx)
+            for name in names:
+                buf_cols[name].append(piece_cols[name])
+            buffered += len(piece_idx)
+            while buffered >= chunk_size:
+                indices, columns = assembled()
+                yield emit(
+                    indices[:chunk_size],
+                    {
+                        name: column[:chunk_size]
+                        for name, column in columns.items()
+                    },
+                )
+                buf_idx = [indices[chunk_size:]]
+                buf_cols = {
+                    name: [column[chunk_size:]]
+                    for name, column in columns.items()
+                }
+                buffered -= chunk_size
+        if buffered:
+            yield emit(*assembled())
+
+    def read_columns(
+        self, where: Optional[Mapping[str, Any]] = None
+    ) -> Tuple[Any, Dict[str, Any]]:
+        """Every covered point's columns in one pair of arrays:
+        ``(index_array, {name: column})`` — :meth:`iter_columns`
+        materialized (the bulk-read call a query service or exporter
+        builds on).  ``where`` filters vectorized, before any copy."""
+        import numpy as np
+
+        parts = list(self.iter_columns(where=where))
+        if not parts:
+            layout = _BIN_COLUMNS[_KIND_BIN[self.header["kind"]]]
+            return (
+                np.empty(0, dtype=np.int64),
+                {
+                    name: np.empty(0, dtype=dtype)
+                    for name, dtype in layout
+                },
+            )
+        if len(parts) == 1:
+            return parts[0]
+        return (
+            np.concatenate([indices for indices, _ in parts]),
+            {
+                name: np.concatenate(
+                    [columns[name] for _, columns in parts]
+                )
+                for name in self.column_names()
+            },
+        )
+
+    def export_npz(
+        self, target, where: Optional[dict] = None
+    ) -> int:
+        """Dump completed points columnar as an ``.npz``: the index
+        array, one array per store column, and one decoded value array
+        per grid axis (``axis_<name>``) — zero row dicts anywhere, the
+        whole export is array slices and one vectorized axis decode.
+        Returns the point count.  Requires an all-analytic store
+        (:meth:`iter_columns`)."""
+        import numpy as np
+
+        indices, columns = self.read_columns(where=where)
+        arrays: Dict[str, Any] = {"indices": indices}
+        arrays.update(columns)
+        grid = self.grid
+        codes = grid.axis_codes_for_indices(indices)
+        for name, values in grid.axes.items():
+            arrays[f"axis_{name}"] = np.take(
+                np.asarray(values), codes[name]
+            )
+        write_npz(target, arrays)
+        return int(len(indices))
+
     def query(self, **filters) -> Iterator[Tuple[int, Dict[str, Any], dict]]:
         """Yield ``(index, axis_assignment, result_dict)`` for completed
         points whose axis assignment matches every filter, e.g.
@@ -954,28 +1393,38 @@ class CampaignStore:
         Axis filters are decoded once into matching *value codes* and
         tested digit-wise against the row-major index — integer
         arithmetic per point instead of materializing the assignment
-        dict; :meth:`assignment_at` runs only on the matches yielded.
-        Base-field filters (and unknown names) resolve before any row
-        is read: a mismatch yields nothing.
+        dict; the filter runs on the merged ``(index, row)`` stream
+        *before* any decode, so filtered-out points are never
+        materialized.  Base-field filters (and unknown names) resolve
+        before any row is read: a mismatch yields nothing.
+
+        All-analytic stores take the vectorized path instead: the
+        filter is one boolean mask over each :meth:`iter_columns`
+        chunk's index array, and rows exist only for the survivors.
         """
-        grid = self.grid
-        strides = grid._strides()
-        checks: List[Tuple[int, int, frozenset]] = []
-        for name, value in filters.items():
-            if name in grid.axes:
-                codes = frozenset(
-                    i for i, v in enumerate(grid.axes[name]) if v == value
-                )
-                if not codes:
-                    return
-                checks.append((strides[name], len(grid.axes[name]), codes))
-            elif name not in grid.base or grid.base[name] != value:
-                return
-        for index, result in self.iter_rows():
+        checks = self._filter_checks(filters)
+        if checks is None:
+            return
+        if self._all_columnar():
+            row_enc = _ROW_ENC_FOR_BIN[_KIND_BIN[self.header["kind"]]]
+            names = self.column_names()
+            for indices, columns in self.iter_columns(
+                where=filters or None
+            ):
+                cols = [columns[name] for name in names]
+                for k in range(len(indices)):
+                    index = int(indices[k])
+                    _, result = self._decode_row(
+                        [index, *(c[k].item() for c in cols)], row_enc
+                    )
+                    yield index, self.assignment_at(index), result
+            return
+        for index, row, encoding in self._merged_rows():
             if all(
                 (index // stride) % size in codes
                 for stride, size, codes in checks
             ):
+                _, result = self._decode_row(row, encoding)
                 yield index, self.assignment_at(index), result
 
     def export_jsonl(self, target, where: Optional[dict] = None) -> int:
@@ -1025,6 +1474,12 @@ class CampaignStore:
         buffer, so peak memory is one output segment plus one input
         segment — never the campaign.
 
+        A binary target over an all-analytic source (the
+        ``--binary``-again / binary→binary case) skips rows entirely:
+        surviving column blocks move as :meth:`iter_columns` array
+        slices straight into :meth:`_write_segment_binary` — zero
+        per-row decode or encode anywhere.
+
         Crash-safe ordering: the replacement segments are fully written
         *before* the index switches over and the old files are removed.
         A crash mid-compact leaves old and new segments coexisting with
@@ -1054,6 +1509,24 @@ class CampaignStore:
         buffers: Dict[str, List[list]] = {}
         points = 0
 
+        if compression == COMPRESSION_BINARY and self._all_columnar():
+            bin_encoding = _KIND_BIN[self.header["kind"]]
+            names = self.column_names()
+            for indices, columns in self.iter_columns(
+                chunk_size=COMPACT_SEGMENT_POINTS
+            ):
+                _, entry = self._write_segment_binary(
+                    [columns[name] for name in names], bin_encoding,
+                    _index_array_to_ranges(indices), len(indices), None,
+                    index["segments"] + new_segments,
+                )
+                new_segments.append(entry)
+                points += len(indices)
+            return self._finish_compact(
+                index, old_files, before, new_segments, points,
+                compression,
+            )
+
         def flush(encoding: str) -> None:
             rows = buffers.pop(encoding, [])
             if not rows:
@@ -1082,6 +1555,22 @@ class CampaignStore:
                 flush(encoding)
         for encoding in sorted(buffers):
             flush(encoding)
+        return self._finish_compact(
+            index, old_files, before, new_segments, points, compression
+        )
+
+    def _finish_compact(
+        self,
+        index: dict,
+        old_files: List[str],
+        before: int,
+        new_segments: List[dict],
+        points: int,
+        compression: str,
+    ) -> dict:
+        """Compaction's crash-safe switch-over, shared by the row and
+        columnar paths: header rewrite (if the compression changed),
+        index replacement, old-file removal, summary."""
         if compression != self.compression:
             # Future appends follow the migrated form: rewrite the
             # header before the index switch (a crash between the two
@@ -1209,6 +1698,66 @@ class CampaignStore:
 
     def __repr__(self) -> str:  # pragma: no cover - debug repr
         return f"<CampaignStore {str(self.root)!r}>"
+
+
+# ---------------------------------------------------------------------------
+# reporting
+# ---------------------------------------------------------------------------
+
+def slice_report(
+    store: CampaignStore,
+    slices: Optional[Mapping[str, Any]] = None,
+) -> dict:
+    """Aggregate statistics for one campaign slice, straight from
+    columns — the first thin consumer of the columnar read path
+    (``campaign report --slice axis=value``).
+
+    ``slices`` pins axes (or base fields) with the :meth:`~CampaignStore.query`
+    filter semantics; the report then groups the surviving points by
+    each *remaining* axis value and gives n / mean / min / max of the
+    per-iteration time (µs).  Everything is one
+    :meth:`~CampaignStore.read_columns` call plus one vectorized
+    axis-code decode — no row dicts at any size.
+    """
+    import numpy as np
+
+    indices, columns = store.read_columns(where=slices or None)
+    times = np.asarray(columns["times"])
+    report: Dict[str, Any] = {
+        "kind": store.header["kind"],
+        "slice": dict(slices or {}),
+        "points": int(len(indices)),
+        "axes": {},
+    }
+    if len(indices):
+        report["times_us"] = {
+            "mean": float(times.mean()) * 1e6,
+            "min": float(times.min()) * 1e6,
+            "max": float(times.max()) * 1e6,
+        }
+    codes = store.grid.axis_codes_for_indices(indices)
+    for name, values in store.grid.axes.items():
+        if slices and name in slices:
+            continue
+        groups = []
+        axis_codes = codes[name]
+        for code, value in enumerate(values):
+            mask = axis_codes == code
+            n = int(mask.sum())
+            if not n:
+                continue
+            selected = times[mask]
+            groups.append(
+                {
+                    "value": value,
+                    "n": n,
+                    "mean_us": float(selected.mean()) * 1e6,
+                    "min_us": float(selected.min()) * 1e6,
+                    "max_us": float(selected.max()) * 1e6,
+                }
+            )
+        report["axes"][name] = groups
+    return report
 
 
 # ---------------------------------------------------------------------------

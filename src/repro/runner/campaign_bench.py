@@ -13,7 +13,10 @@ batched refactor is a recorded, regenerable number instead of a claim:
   same grid through binary ``.bin`` segments plus the async segment
   writer (``speedup_vs_jsonl`` is binary+async vs the batched row
   above), with a ``read_path`` section timing a full ``iter_rows``
-  drain of both stores through the streaming k-way merge;
+  drain of both stores through the streaming k-way merge and a
+  ``read_path.columnar`` subsection timing the ``iter_columns`` bulk
+  drain per format (array slices end-to-end — the number the CI
+  read-path gate holds);
 * **per-point pipeline** — the per-point status quo for a persisted
   campaign: one ``Backend.run()`` per point, one content-hashed JSON
   file per point in a v1 :class:`~repro.runner.store.ResultStore` (the
@@ -211,6 +214,31 @@ def _benchmark_bench(work: Path, n_sizes: int) -> dict:
     read_jsonl = _drain(store)
     read_binary = _drain(bin_store)
 
+    # Columnar drain: the same latest-wins merge decided at the
+    # index-range level, column blocks sliced as arrays (memmap views
+    # for .bin stores) — no per-point Python objects anywhere.
+    def _drain_columns(campaign_store: CampaignStore) -> dict:
+        with stopwatch() as drain:
+            n_points = sum(
+                len(indices)
+                for indices, _ in campaign_store.iter_columns()
+            )
+        if n_points != len(grid):
+            raise RuntimeError(
+                f"{campaign_store.root}: columnar drain covered "
+                f"{n_points} of {len(grid)} points"
+            )
+        return {
+            "wall_s": round(drain.wall, 4),
+            "points_per_s": round(n_points / drain.wall, 1),
+        }
+
+    cols_jsonl = _drain_columns(store)
+    cols_binary = _drain_columns(bin_store)
+    cols_binary["speedup_vs_row_drain"] = round(
+        cols_binary["points_per_s"] / read_binary["points_per_s"], 2
+    )
+
     # Per-point pipeline on a uniform subsample, scaled: one
     # Backend.run() per point, one content-hashed file per point.
     # (Deliberately NOT through the current executor — it would
@@ -269,6 +297,13 @@ def _benchmark_bench(work: Path, n_sizes: int) -> dict:
                            "k-way merge, per store format",
             "jsonl": read_jsonl,
             "binary": read_binary,
+            "columnar": {
+                "description": "full iter_columns drain (range-level "
+                               "merge, array slices end-to-end), per "
+                               "store format",
+                "jsonl": cols_jsonl,
+                "binary": cols_binary,
+            },
         },
         "per_point_pipeline": {
             "description": "one Backend.run() + one content-hashed JSON "

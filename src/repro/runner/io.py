@@ -31,8 +31,10 @@ __all__ = [
     "atomic_write_text",
     "open_segment_text",
     "read_binary_segment",
+    "read_columnar_text_segment",
     "read_segment_header",
     "write_jsonl",
+    "write_npz",
 ]
 
 #: Column dtypes a binary segment may carry (explicit little-endian, so
@@ -180,6 +182,39 @@ def read_binary_segment(path: Path) -> Tuple[dict, List]:
         )
         offset += nbytes
     return header, columns
+
+
+def read_columnar_text_segment(path: Path) -> Tuple[dict, List[list]]:
+    """A ``*-cols`` JSONL segment as ``(header, [column list, ...])``.
+
+    Each body line is one whole-column JSON array; one C-level
+    ``json.loads`` per column is the read twin of the one ``json.dumps``
+    per column the columnar append wrote.  Gzip-transparent.
+    """
+    with open_segment_text(path) as handle:
+        header = json.loads(handle.readline())
+        columns = [json.loads(line) for line in handle if line.strip()]
+    return header, columns
+
+
+def write_npz(target: Union[str, Path], arrays: dict) -> None:
+    """Atomically write named arrays as an uncompressed ``.npz``
+    (creating parents) — the columnar-export twin of
+    :func:`atomic_write_text`."""
+    import numpy as np
+
+    target = Path(target)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        prefix=target.stem + ".", suffix=".tmp", dir=target.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **arrays)
+        os.replace(tmp, target)
+    except BaseException:
+        os.unlink(tmp)
+        raise
 
 
 def write_jsonl(

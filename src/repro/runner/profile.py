@@ -49,6 +49,7 @@ STAGE_SPANS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("compute", ("executor.compute",)),
     ("stall", ("executor.stall",)),
     ("writer-stall", ("store.writer.stall",)),
+    ("read", ("store.read.plan", "store.read.segment")),
 )
 
 #: What to do about a dominant stage (the actionable one-liner).
@@ -69,6 +70,8 @@ _STAGE_HINTS: Dict[str, str] = {
              "rebalance chunk sizes",
     "writer-stall": "the async segment writer's queue is the bottleneck; "
                     "the disk (or gzip) cannot keep up with the kernel",
+    "read": "columnar read (range planning + segment loads) dominates; "
+            "mixed-in text segments decode whole — compact --binary",
     "other": "uninstrumented time dominates; the span coverage needs "
              "a closer look before trusting this profile",
 }

@@ -359,6 +359,25 @@ class ScenarioGrid:
         indices = np.asarray(indices, dtype=np.int64)
         return (indices // self._strides()[name]) % len(self.axes[name])
 
+    def axis_codes_for_indices(self, indices) -> Dict[str, Any]:
+        """Codes for *every* axis over many indices at once.
+
+        The fully vectorized row-major decode: one ``//`` + ``%`` over
+        the whole index array per axis, replacing the per-point digit
+        loop everywhere a batch of indices needs its assignments
+        (columnar query filters, ``export --format npz``, slice
+        reports).  Returns ``{axis name: int64 code array}``; axis
+        values are ``axes[name][code]``.
+        """
+        import numpy as np
+
+        indices = np.asarray(indices, dtype=np.int64)
+        strides = self._strides()
+        return {
+            name: (indices // strides[name]) % len(values)
+            for name, values in self.axes.items()
+        }
+
     def kernel_columns(
         self,
         indices,
