@@ -527,6 +527,81 @@ def _campaign_parser() -> argparse.ArgumentParser:
                           "metrics file (requires --metrics; forces "
                           "in-process execution so records reach the "
                           "sink)")
+    run.add_argument("--shards", type=int, default=None, metavar="N",
+                     help="split the missing points across N local "
+                          "shard subprocesses and merge their segments "
+                          "back (0 = one per available CPU); each "
+                          "shard writes collision-free seg-<token>-* "
+                          "segments in its own store")
+    run.add_argument("--keep-shards", action="store_true",
+                     help="with --shards: keep the per-shard stores "
+                          "under <root>/shards/ after the merge")
+
+    shard = sub.add_parser(
+        "shard",
+        help="sharded execution: plan slabs, run one shard, merge "
+             "shard stores",
+    )
+    shard_sub = shard.add_subparsers(dest="shard_action", required=True)
+
+    splan = shard_sub.add_parser(
+        "plan", help="print the [start, stop) slabs each shard would run"
+    )
+    splan.add_argument("spec", metavar="SPEC",
+                       help="grid spec JSON path ('-' reads stdin)")
+    splan.add_argument("--shards", type=int, required=True, metavar="N",
+                       help="shard count")
+    splan.add_argument("--root", default=None, metavar="DIR",
+                       help="existing campaign store whose completed "
+                            "ranges are subtracted first (resume-aware "
+                            "planning)")
+
+    srun = shard_sub.add_parser(
+        "run",
+        help="execute one shard into its own store (multi-machine "
+             "shape: run anywhere, rsync the store back, merge once)",
+    )
+    srun.add_argument("spec", metavar="SPEC",
+                      help="grid spec JSON path ('-' reads stdin)")
+    srun.add_argument("--root", required=True, metavar="DIR",
+                      help="this shard's store directory")
+    srun.add_argument("--shard", required=True, metavar="I/N",
+                      help="shard index/count, 1-based (e.g. 2/4)")
+    srun.add_argument("--ranges", default=None, metavar="S-E,S-E",
+                      help="explicit half-open index slabs (default: "
+                           "shard I of shard-plan over the full grid)")
+    srun.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="worker processes inside this shard for "
+                           "simulation-backed chunks (default 1)")
+    srun.add_argument("--chunk", type=int, default=None, metavar="N",
+                      help="points per chunk (default: backend-sized)")
+    srun.add_argument("--limit", type=int, default=None, metavar="N",
+                      help="max points to execute this invocation")
+    srun.add_argument("--compress", action="store_true",
+                      help="write gzip segments")
+    srun.add_argument("--binary", action="store_true",
+                      help="write binary .bin segments")
+    srun.add_argument("--sync-write", action="store_true",
+                      help="disable the async segment writer")
+    srun.add_argument("--metrics", nargs="?", const="auto", default=None,
+                      metavar="PATH",
+                      help="record this shard's telemetry to a metrics "
+                           "JSONL (default: <root>/metrics.jsonl)")
+
+    smerge = shard_sub.add_parser(
+        "merge",
+        help="adopt shard stores' segments into a target store "
+             "(verified: grid hash, per-segment schema, disjoint "
+             "coverage)",
+    )
+    smerge.add_argument("root", metavar="TARGET",
+                        help="target campaign store")
+    smerge.add_argument("shard_roots", nargs="+", metavar="SHARD",
+                        help="shard store directories to adopt")
+    smerge.add_argument("--link", action="store_true",
+                        help="hard-link segments instead of moving "
+                             "them (same filesystem; shard stores stay "
+                             "intact)")
 
     status = sub.add_parser("status", help="coverage and store health")
     status.add_argument("root", metavar="DIR")
@@ -626,15 +701,25 @@ def _run_campaign_metered(store, run_campaign_fn, run_kwargs, args) -> dict:
         "kind": store.header["kind"],
         "jobs": run_kwargs["jobs"],
     }
+    shard = store.header.get("shard")
+    if shard is not None:
+        # Per-shard provenance: a merged campaign's metrics-<token>
+        # files each say which slab of which split produced them.
+        producer["tool"] = "campaign shard run"
+        producer["shard"] = {
+            "index": shard["index"],
+            "count": shard["count"],
+        }
+    trace = getattr(args, "trace", False)
     registry = telemetry.MetricsRegistry()
     sink = telemetry.MetricsSink(metrics_path, producer=producer)
     previous_registry = telemetry.set_registry(registry)
     # Trace records can only reach the parent's sink from in-process
     # simulations, so --trace pins the pool policy to "never".
     previous_sink = telemetry.set_trace_sink(
-        sink.write_trace if args.trace else None
+        sink.write_trace if trace else None
     )
-    if args.trace:
+    if trace:
         run_kwargs = dict(run_kwargs, pool="never")
     try:
         summary = run_campaign_fn(store, **run_kwargs)
@@ -712,6 +797,56 @@ def _run_campaign_cli(args) -> int:
         from .runner import default_jobs
 
         jobs = args.jobs if args.jobs > 0 else default_jobs()
+        if args.shards is not None:
+            if args.trace:
+                print("error: --trace is per-process; unsupported with "
+                      "--shards", file=sys.stderr)
+                return 2
+            if args.limit is not None or args.submit_ahead is not None:
+                print("error: --limit/--submit-ahead are per-shard "
+                      "knobs; unsupported with --shards",
+                      file=sys.stderr)
+                return 2
+            from .runner.shard import run_sharded
+
+            def run_sharded_fn(store, jobs=1):
+                return run_sharded(
+                    store,
+                    n_shards=args.shards,
+                    jobs=args.jobs if args.jobs > 0 else 1,
+                    chunk_points=args.chunk,
+                    keep_shards=args.keep_shards,
+                    shard_metrics=bool(args.metrics),
+                    progress=print,
+                )
+
+            run_kwargs = dict(jobs=jobs)
+            try:
+                if args.metrics:
+                    summary = _run_campaign_metered(
+                        store, run_sharded_fn, run_kwargs, args
+                    )
+                else:
+                    summary = run_sharded_fn(store, **run_kwargs)
+            except (RuntimeError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            merge = summary.get("merge")
+            pps = summary["points_per_s"]
+            print(
+                f"executed {summary['executed']} point(s) across "
+                f"{len(summary['shards'])} shard(s), "
+                f"{summary['wall_s']:.2f}s"
+                + (f" ({pps:,.0f} points/s)" if pps else "")
+                + (f"; adopted {merge['segments_adopted']} segment(s)"
+                   if merge else "")
+            )
+            print(
+                f"campaign {store.header['grid_hash'][:12]}: "
+                f"{summary['completed']}/{summary['n_points']} "
+                f"points complete"
+            )
+            return 0
         run_kwargs = dict(
             jobs=jobs,
             chunk_points=args.chunk,
@@ -740,6 +875,161 @@ def _run_campaign_cli(args) -> int:
         )
         return 0
 
+    if args.action == "shard":
+        from .runner.shard import (
+            format_ranges,
+            merge_shards,
+            parse_ranges,
+            parse_shard,
+            run_shard,
+            shard_token,
+        )
+
+        if args.shard_action == "merge":
+            try:
+                summary = merge_shards(
+                    args.root, args.shard_roots, link=args.link
+                )
+            except (FileNotFoundError, ValueError, RuntimeError,
+                    OSError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print(
+                f"adopted {summary['segments_adopted']} segment(s) from "
+                f"{summary['shards']} shard store(s)"
+                + (" [linked]" if summary["linked"] else "")
+            )
+            print(f"target: {summary['completed']} point(s) complete")
+            return 0
+
+        try:
+            raw = (
+                sys.stdin.read()
+                if args.spec == "-"
+                else open(args.spec).read()
+            )
+            grid = parse_grid_spec(_json.loads(raw))
+        except OSError as exc:
+            print(f"error: cannot read grid spec: {exc}", file=sys.stderr)
+            return 2
+        except (KeyError, TypeError, ValueError) as exc:
+            print(f"error: bad grid spec: {exc}", file=sys.stderr)
+            return 2
+
+        if args.shard_action == "plan":
+            from .runner.planner import shard_plan
+
+            completed = []
+            if args.root:
+                try:
+                    target = CampaignStore.open(args.root)
+                except (FileNotFoundError, ValueError) as exc:
+                    print(f"error: {exc}", file=sys.stderr)
+                    return 2
+                if target.header["grid_hash"] != grid.content_hash():
+                    print(
+                        "error: --root holds a different grid than SPEC",
+                        file=sys.stderr,
+                    )
+                    return 2
+                completed = target.completed_ranges()
+            try:
+                plans = shard_plan(
+                    len(grid), args.shards, completed=completed
+                )
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print(_json.dumps(
+                {
+                    "n_points": len(grid),
+                    "grid_hash": grid.content_hash(),
+                    "shards": [
+                        {
+                            "shard": f"{i + 1}/{args.shards}",
+                            "points": sum(e - s for s, e in plan),
+                            "ranges": [[s, e] for s, e in plan],
+                            "ranges_arg": format_ranges(plan),
+                        }
+                        for i, plan in enumerate(plans)
+                    ],
+                },
+                indent=2,
+            ))
+            return 0
+
+        if args.shard_action == "run":
+            if args.compress and args.binary:
+                print("error: --compress and --binary are mutually "
+                      "exclusive", file=sys.stderr)
+                return 2
+            compression = "none"
+            if args.compress:
+                compression = "gzip"
+            elif args.binary:
+                compression = "binary"
+            try:
+                index, count = parse_shard(args.shard)
+                ranges = (
+                    parse_ranges(args.ranges) if args.ranges else None
+                )
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            if ranges is None:
+                from .runner.planner import shard_plan
+
+                ranges = shard_plan(len(grid), count)[index - 1]
+            run_kwargs = dict(
+                jobs=args.jobs,
+                chunk_points=args.chunk,
+                limit=args.limit,
+                async_write=False if args.sync_write else None,
+                progress=print,
+            )
+
+            def run_shard_fn(store, **kw):
+                return run_shard(
+                    args.root, grid, index, count,
+                    ranges=ranges, compression=compression, **kw
+                )
+
+            try:
+                if args.metrics:
+                    store = CampaignStore.create(
+                        args.root, grid,
+                        compression=compression,
+                        writer_token=shard_token(index, count),
+                        shard={
+                            "index": index,
+                            "count": count,
+                            "ranges": ranges,
+                        },
+                    )
+                    summary = _run_campaign_metered(
+                        store, run_shard_fn, run_kwargs, args
+                    )
+                else:
+                    summary = run_shard_fn(None, **run_kwargs)
+            except (KeyError, TypeError, ValueError) as exc:
+                message = exc.args[0] if exc.args else exc
+                print(f"error: {message}", file=sys.stderr)
+                return 2
+            info = summary["shard"]
+            pps = summary["points_per_s"]
+            print(
+                f"shard {index}/{count} [{info['token']}]: executed "
+                f"{summary['executed']} point(s) in "
+                f"{summary['wall_s']:.2f}s"
+                + (f" ({pps:,.0f} points/s)" if pps else "")
+            )
+            print(
+                f"assigned {info['assigned']} point(s), "
+                f"{info['remaining']} remaining in this shard"
+            )
+            return 0
+        return 2
+
     try:
         store = CampaignStore.open(args.root)
     except (FileNotFoundError, ValueError) as exc:
@@ -748,7 +1038,10 @@ def _run_campaign_cli(args) -> int:
     if args.action == "status":
         stats = store.stats()
         if args.json:
-            print(_json.dumps(stats, indent=2, sort_keys=True))
+            try:
+                print(_json.dumps(stats, indent=2, sort_keys=True))
+            except BrokenPipeError:  # e.g. piped into head
+                pass
             return 0
         print(f"campaign {stats['root']} "
               f"[{stats['kind']}/{stats['backend']}, "
@@ -759,6 +1052,19 @@ def _run_campaign_cli(args) -> int:
               f"({stats['total_bytes']} bytes)")
         if stats["loose_rows"]:
             print(f"  loose:    {stats['loose_rows']} migrated v1 row(s)")
+        if "shard" in stats:
+            print(f"  shard:    {stats['shard']['index']}/"
+                  f"{stats['shard']['count']} of a sharded campaign")
+        for writer, cov in stats.get("shard_segments", {}).items():
+            print(f"  writer {writer}: {cov['points']} point(s) in "
+                  f"{len(cov['ranges'])} range(s)")
+        for entry in stats.get("shards", []):
+            missing = (
+                f", {entry['missing']} missing"
+                if "missing" in entry else ""
+            )
+            print(f"  shard store {entry['root']}: "
+                  f"{entry['completed']} point(s) complete{missing}")
         return 0
     if args.action == "export":
         try:
@@ -847,17 +1153,23 @@ def _campaign_bench_parser() -> argparse.ArgumentParser:
                     "execution and persist BENCH_campaign.json.",
     )
     parser.add_argument("--kind", default="bench",
-                        choices=["bench", "pattern"],
+                        choices=["bench", "pattern", "sharded"],
                         help="grid family: two-rank bench points "
-                             "(default) or N-rank application patterns "
-                             "(columns-first fast path; writes the "
-                             "pattern_campaign payload section)")
+                             "(default), N-rank application patterns "
+                             "(pattern_campaign payload section), or "
+                             "sharded execution (large bench grid as "
+                             "N shard subprocesses vs one process; "
+                             "sharded_campaign payload section)")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="persistence path (default BENCH_campaign.json)")
     parser.add_argument("--sizes", type=int, default=None, metavar="N",
                         help="size-axis length (default 320 -> 102400 "
                              "bench points / 50 -> 115200 pattern "
-                             "points; lower for a quick run)")
+                             "points / 20000 -> 6.4M sharded points; "
+                             "lower for a quick run)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="shard subprocesses for --kind sharded "
+                             "(default 4)")
     parser.add_argument("--root", default=None, metavar="DIR",
                         help="keep the campaign store here (default: "
                              "temp dir, removed after the run)")
@@ -865,7 +1177,11 @@ def _campaign_bench_parser() -> argparse.ArgumentParser:
 
 
 def _run_campaign_bench(args) -> int:
-    from .runner.campaign_bench import DEFAULT_JSON_PATH, benchmark_campaign
+    from .runner.campaign_bench import (
+        DEFAULT_JSON_PATH,
+        DEFAULT_N_SHARDS,
+        benchmark_campaign,
+    )
 
     path = args.json if args.json else DEFAULT_JSON_PATH
     try:
@@ -874,10 +1190,31 @@ def _run_campaign_bench(args) -> int:
             n_sizes=args.sizes,
             root=args.root,
             kind=args.kind,
+            n_shards=args.shards if args.shards else DEFAULT_N_SHARDS,
         )
     except RuntimeError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.kind == "sharded":
+        section = payload["sharded_campaign"]
+        print(
+            f"{section['n_points']} analytic bench points: "
+            f"single process {section['single']['wall_s']:.2f}s "
+            f"({section['single']['points_per_s']:,.0f} points/s)"
+        )
+        print(
+            f"{section['n_shards']} shards: "
+            f"{section['sharded']['wall_s']:.2f}s "
+            f"({section['sharded']['points_per_s']:,.0f} points/s, "
+            f"merge {section['sharded']['merge_wall_s']:.2f}s, "
+            f"{section['sharded']['segments_adopted']} segments adopted)"
+        )
+        print(
+            f"sharded speedup: x{section['speedup_vs_single']:.2f} "
+            f"vs single process (merged store verified column-equal)"
+        )
+        print(f"[timings persisted to {path}]")
+        return 0
     section = payload if args.kind == "bench" else payload["pattern_campaign"]
     print(
         f"{section['n_points']} analytic {args.kind} points: "

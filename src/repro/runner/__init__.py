@@ -47,7 +47,13 @@ from .executor import (
     run_scenarios,
     run_specs,
 )
-from .planner import Chunk, ExecutionPlan, plan_execution
+from .planner import (
+    Chunk,
+    ExecutionPlan,
+    available_cpus,
+    plan_execution,
+    shard_plan,
+)
 from .profile import Attribution, build_attribution, render_profile
 from .scenario import (
     DEFAULT_BACKEND,
@@ -59,6 +65,7 @@ from .scenario import (
     result_to_dict,
     scenario_for,
 )
+from .shard import merge_shards, run_shard, run_sharded, shard_token
 from .store import ResultStore
 
 __all__ = [
@@ -78,7 +85,13 @@ __all__ = [
     "run_campaign",
     "Chunk",
     "ExecutionPlan",
+    "available_cpus",
     "plan_execution",
+    "shard_plan",
+    "merge_shards",
+    "run_shard",
+    "run_sharded",
+    "shard_token",
     "Attribution",
     "build_attribution",
     "render_profile",

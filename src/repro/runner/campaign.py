@@ -69,6 +69,7 @@ binary→binary :meth:`CampaignStore.compact`, and
 from __future__ import annotations
 
 import json
+import re
 import time
 from pathlib import Path
 from typing import (
@@ -212,6 +213,10 @@ COMPRESSIONS = (COMPRESSION_NONE, COMPRESSION_GZIP, COMPRESSION_BINARY)
 #: Every on-disk segment suffix one seq number may occupy.
 _SEGMENT_SUFFIXES = (".jsonl", ".jsonl.gz", ".bin")
 
+#: Writer tokens become path components of segment names, so the
+#: charset is deliberately tight (no separators, no dots).
+_WRITER_TOKEN_RE = re.compile(r"[A-Za-z0-9_]{1,32}")
+
 
 # ---------------------------------------------------------------------------
 # grid specs
@@ -307,6 +312,27 @@ def _subtract_ranges(
     return out
 
 
+def _intersect_ranges(
+    a: Sequence[Tuple[int, int]], b: Sequence[Tuple[int, int]]
+) -> List[Tuple[int, int]]:
+    """Intersection of two merged, sorted [start, stop) range lists —
+    the shard-scoping primitive: a shard's assigned slabs intersected
+    with the store's missing ranges yields exactly the work this shard
+    still owes."""
+    out: List[Tuple[int, int]] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        start = max(a[i][0], b[j][0])
+        stop = min(a[i][1], b[j][1])
+        if start < stop:
+            out.append((start, stop))
+        if a[i][1] <= b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
 def _ranges_to_index_array(ranges: Sequence[Sequence[int]]):
     """Sorted [start, stop) ranges -> one ascending int64 index array."""
     import numpy as np
@@ -358,13 +384,29 @@ class CampaignStore:
     """
 
     def __init__(
-        self, root: str | Path, fallback: Optional[Any] = None
+        self,
+        root: str | Path,
+        fallback: Optional[Any] = None,
+        writer_token: Optional[str] = None,
     ):
         self.root = Path(root)
         #: Optional v1 :class:`~repro.runner.store.ResultStore` consulted
         #: (after the loose rows) by :meth:`load_dict` — read-through
         #: from the per-file store without migrating it.
         self.fallback = fallback
+        #: Collision-free segment namespace for this writer: when set,
+        #: new segments are named ``seg-<token>-NNNNNN`` so concurrent
+        #: writers (shards, parallel processes) sharing one directory
+        #: can never race each other to the same name.  ``None`` keeps
+        #: the legacy single-writer ``seg-NNNNNN`` names byte-for-byte.
+        if writer_token is not None and not _WRITER_TOKEN_RE.fullmatch(
+            writer_token
+        ):
+            raise ValueError(
+                f"writer token {writer_token!r} must match "
+                f"[A-Za-z0-9_]{{1,32}}"
+            )
+        self.writer_token = writer_token
         self._header: Optional[dict] = None
         self._grid: Optional[ScenarioGrid] = None
         self._loose_map: Optional[Dict[str, dict]] = None
@@ -377,6 +419,8 @@ class CampaignStore:
         grid: ScenarioGrid,
         fallback: Optional[Any] = None,
         compression: str = COMPRESSION_NONE,
+        writer_token: Optional[str] = None,
+        shard: Optional[dict] = None,
     ) -> "CampaignStore":
         """Initialize a campaign root for ``grid``.
 
@@ -386,6 +430,11 @@ class CampaignStore:
         rather than silently mixing two campaigns in one directory.
         ``compression`` selects the on-disk form of *new* segments
         (``"none"`` or ``"gzip"``); reads handle both transparently.
+        ``writer_token`` namespaces this writer's segment names (see
+        :meth:`_segment_name`); ``shard`` records shard provenance
+        (``{"index", "count", "ranges"}``) in the header of a
+        shard-owned root so status and merge tooling can tell shard
+        stores from full campaigns.
         """
         from ..backends import get_backend
 
@@ -396,7 +445,7 @@ class CampaignStore:
                 f"unknown compression {compression!r}; "
                 f"choose from {COMPRESSIONS}"
             )
-        store = cls(root, fallback=fallback)
+        store = cls(root, fallback=fallback, writer_token=writer_token)
         header_path = store.root / "campaign.json"
         grid_hash = grid.content_hash()
         if header_path.is_file():
@@ -423,7 +472,9 @@ class CampaignStore:
                         f"whose axis order cannot be recovered must be "
                         f"re-run)"
                     )
-            return cls.open(root, fallback=fallback)
+            return cls.open(
+                root, fallback=fallback, writer_token=writer_token
+            )
         header = {
             "schema": CAMPAIGN_SCHEMA,
             "kind": grid.kind,
@@ -438,6 +489,14 @@ class CampaignStore:
                 "grid_schema": GRID_SCHEMA,
             },
         }
+        if shard is not None:
+            header["shard"] = {
+                "index": int(shard["index"]),
+                "count": int(shard["count"]),
+                "ranges": [
+                    [int(s), int(e)] for s, e in shard.get("ranges", [])
+                ],
+            }
         atomic_write_text(
             header_path, json.dumps(header, sort_keys=True, indent=1) + "\n"
         )
@@ -447,10 +506,13 @@ class CampaignStore:
 
     @classmethod
     def open(
-        cls, root: str | Path, fallback: Optional[Any] = None
+        cls,
+        root: str | Path,
+        fallback: Optional[Any] = None,
+        writer_token: Optional[str] = None,
     ) -> "CampaignStore":
         """Open an existing campaign root (rebuilding a lost index)."""
-        store = cls(root, fallback=fallback)
+        store = cls(root, fallback=fallback, writer_token=writer_token)
         store.header  # validates
         if store._read_index() is None:
             store.rebuild_index()
@@ -491,6 +553,12 @@ class CampaignStore:
     def binary(self) -> bool:
         """True when new columnar appends land as binary segments."""
         return self.compression == COMPRESSION_BINARY
+
+    @property
+    def shard(self) -> Optional[dict]:
+        """Shard provenance (``{"index", "count", "ranges"}``) when this
+        root was created as one shard of a larger campaign, else None."""
+        return self.header.get("shard")
 
     # -- index ---------------------------------------------------------------
     def _read_index(self) -> Optional[dict]:
@@ -569,15 +637,16 @@ class CampaignStore:
             if header is None:
                 ignored.append(str(path.relative_to(self.root)))
                 continue
-            segments.append(
-                {
-                    "file": str(path.relative_to(self.root)),
-                    "ranges": header["ranges"],
-                    "count": header["count"],
-                    "encoding": header["encoding"],
-                    "backend": header["backend"],
-                }
-            )
+            entry = {
+                "file": str(path.relative_to(self.root)),
+                "ranges": header["ranges"],
+                "count": header["count"],
+                "encoding": header["encoding"],
+                "backend": header["backend"],
+            }
+            if "writer" in header:
+                entry["writer"] = header["writer"]
+            segments.append(entry)
         loose_paths = sorted(self.root.glob("loose/*.jsonl")) + sorted(
             self.root.glob("loose/*.jsonl.gz")
         )
@@ -651,16 +720,30 @@ class CampaignStore:
 
     # -- writing -------------------------------------------------------------
     def _segment_name(self, n_existing: int, suffix: str) -> str:
-        """Next free ``segments/seg-NNNNNN`` name: the seq counter
-        starts at the index's segment count and skips numbers any
-        on-disk form already occupies (compaction may renumber)."""
+        """Next free segment name for this writer.
+
+        Without a writer token: ``segments/seg-NNNNNN`` — the seq
+        counter starts at the index's segment count and skips numbers
+        any on-disk form already occupies (compaction may renumber).
+        That scheme is inherently single-writer: two processes counting
+        the same directory race to the same name.  With a token the
+        name is ``segments/seg-<token>-NNNNNN``, so writers with
+        distinct tokens can never collide no matter how they interleave
+        (the seq scan then only defends against this writer's own
+        leftovers).
+        """
+        stem = (
+            f"segments/seg-{self.writer_token}-"
+            if self.writer_token is not None
+            else "segments/seg-"
+        )
         seq = n_existing
         while any(
-            (self.root / f"segments/seg-{seq:06d}{s}").exists()
+            (self.root / f"{stem}{seq:06d}{s}").exists()
             for s in _SEGMENT_SUFFIXES
         ):
             seq += 1
-        return f"segments/seg-{seq:06d}{suffix}"
+        return f"{stem}{seq:06d}{suffix}"
 
     def _segment_entry(
         self,
@@ -681,6 +764,8 @@ class CampaignStore:
             "ranges": [[int(s), int(e)] for s, e in ranges],
             "count": int(count),
         }
+        if self.writer_token is not None:
+            header["writer"] = self.writer_token
         if extra:
             header.update(extra)
         entry = {
@@ -690,6 +775,8 @@ class CampaignStore:
             "encoding": encoding,
             "backend": backend,
         }
+        if self.writer_token is not None:
+            entry["writer"] = self.writer_token
         return header, entry
 
     def _write_segment(
@@ -1595,7 +1682,15 @@ class CampaignStore:
         }
 
     def stats(self) -> dict:
-        """Campaign health summary (the ``campaign status`` view)."""
+        """Campaign health summary (the ``campaign status`` view).
+
+        Shard-aware: when this root *is* a shard store, its header
+        provenance is echoed under ``"shard"``; when its segments carry
+        writer tokens (merged-from-shards or concurrent writers), the
+        per-writer coverage appears under ``"shard_segments"``; and
+        when shard stores live under ``root/shards/``, each one's
+        progress is summarized under ``"shards"``.
+        """
         index = self._index()
         total_bytes = sum(
             (self.root / entry["file"]).stat().st_size
@@ -1603,7 +1698,7 @@ class CampaignStore:
             for entry in index[group]
             if (self.root / entry["file"]).is_file()
         )
-        return {
+        payload = {
             "root": str(self.root),
             "schema": CAMPAIGN_SCHEMA,
             "kind": self.header["kind"],
@@ -1617,6 +1712,59 @@ class CampaignStore:
             "total_bytes": total_bytes,
             "compression": self.compression,
         }
+        if self.shard is not None:
+            payload["shard"] = self.shard
+        by_writer: Dict[str, List[Sequence[int]]] = {}
+        for entry in index["segments"]:
+            if "writer" in entry:
+                by_writer.setdefault(entry["writer"], []).extend(
+                    entry["ranges"]
+                )
+        if by_writer:
+            payload["shard_segments"] = {
+                writer: {
+                    "ranges": [
+                        [s, e] for s, e in _merge_ranges(ranges)
+                    ],
+                    "points": sum(
+                        e - s for s, e in _merge_ranges(ranges)
+                    ),
+                }
+                for writer, ranges in sorted(by_writer.items())
+            }
+        shard_roots = sorted(
+            p for p in self.root.glob("shards/*")
+            if (p / "campaign.json").is_file()
+        )
+        if shard_roots:
+            shards = []
+            for shard_root in shard_roots:
+                try:
+                    sub = CampaignStore.open(shard_root)
+                except (OSError, ValueError, KeyError):
+                    continue
+                if sub.header["grid_hash"] != self.header["grid_hash"]:
+                    continue
+                entry = {
+                    "root": str(shard_root),
+                    "completed": sub.n_completed,
+                    "completed_ranges": [
+                        [s, e] for s, e in sub.completed_ranges()
+                    ],
+                }
+                if sub.shard is not None:
+                    entry["shard"] = sub.shard
+                    assigned = _merge_ranges(sub.shard["ranges"])
+                    done = sub.completed_ranges()
+                    missing = []
+                    for s, e in assigned:
+                        missing.extend(_subtract_ranges(s, e, done))
+                    entry["missing_ranges"] = [[s, e] for s, e in missing]
+                    entry["missing"] = sum(e - s for s, e in missing)
+                shards.append(entry)
+            if shards:
+                payload["shards"] = shards
+        return payload
 
     # -- v1 interop ----------------------------------------------------------
     def migrate_from_v1(self, result_store) -> int:
@@ -1868,12 +2016,21 @@ def _pattern_columns(grid: ScenarioGrid, start: int, stop: int) -> List[list]:
 
 
 def _chunk_ranges(
-    store: CampaignStore, chunk_points: int, limit: Optional[int]
+    store: CampaignStore,
+    chunk_points: int,
+    limit: Optional[int],
+    within: Optional[Sequence[Tuple[int, int]]] = None,
 ) -> Iterator[Tuple[int, int]]:
     """Yield [start, stop) chunk ranges over the missing points, capped
-    at ``limit`` points total."""
+    at ``limit`` points total.  ``within`` restricts the walk to the
+    intersection of the missing ranges and the given ranges — a shard
+    executes only its assigned slabs, resume still skips whatever any
+    writer already covered."""
     budget = limit if limit is not None else store.n_points
-    for range_start, range_stop in store.missing_ranges():
+    todo = store.missing_ranges()
+    if within is not None:
+        todo = _intersect_ranges(todo, _merge_ranges(within))
+    for range_start, range_stop in todo:
         for start in range(range_start, range_stop, chunk_points):
             if budget <= 0:
                 return
@@ -1890,6 +2047,7 @@ def run_campaign(
     pool: str = "auto",
     submit_ahead: Optional[int] = None,
     async_write: Optional[bool] = None,
+    ranges: Optional[Sequence[Tuple[int, int]]] = None,
     progress=None,
 ) -> dict:
     """Execute a campaign's missing points, chunk by chunk.
@@ -1912,7 +2070,9 @@ def run_campaign(
     execution.  ``limit`` caps the points executed by this invocation
     (useful for time-boxed sessions and the CI resume assertion).
     Returns a summary dict (points executed, chunks, wall seconds,
-    points/s).
+    points/s).  ``ranges`` restricts execution to the given [start,
+    stop) grid-index slabs (the shard shape: each shard runs
+    ``ranges=its slab list`` against its own store).
     """
     from collections import deque
     from contextlib import nullcontext
@@ -1929,9 +2089,19 @@ def run_campaign(
 
     grid = store.grid
     backend = get_backend(grid.backend)
-    n_missing_total = sum(
-        stop - start for start, stop in store.missing_ranges()
-    )
+    if ranges is not None:
+        ranges = _merge_ranges(ranges)
+        for start, stop in ranges:
+            if not (0 <= start < stop <= store.n_points):
+                raise ValueError(
+                    f"range [{start}, {stop}) outside the grid "
+                    f"[0, {store.n_points})"
+                )
+        full_missing = store.missing_ranges()
+        missing = _intersect_ranges(full_missing, ranges)
+    else:
+        full_missing = missing = store.missing_ranges()
+    n_missing_total = sum(stop - start for start, stop in missing)
     n_missing = n_missing_total
     if limit is not None:
         n_missing = min(n_missing, limit)
@@ -1970,7 +2140,9 @@ def run_campaign(
     # Progress coverage is tracked locally, not re-read from the store:
     # under the async writer the index is the writer thread's to touch,
     # and a mid-run ``n_completed`` would race its index writes.
-    covered = store.n_points - n_missing_total
+    covered = store.n_points - sum(
+        stop - start for start, stop in full_missing
+    )
 
     def note_chunk(points: int) -> None:
         nonlocal chunks
@@ -2005,7 +2177,9 @@ def run_campaign(
                     else:
                         fn(*fn_args, **fn_kwargs)
 
-                for start, stop in _chunk_ranges(store, chunk_points, limit):
+                for start, stop in _chunk_ranges(
+                    store, chunk_points, limit, within=ranges
+                ):
                     if fast and grid.kind == KIND_BENCH:
                         submit(
                             store.append_columns,
@@ -2061,7 +2235,9 @@ def run_campaign(
             meta_q: deque = deque()
 
             def payload_chunks():
-                for start, stop in _chunk_ranges(store, chunk_points, limit):
+                for start, stop in _chunk_ranges(
+                    store, chunk_points, limit, within=ranges
+                ):
                     with span("campaign.materialize"):
                         scenarios = [
                             grid.scenario_at(i) for i in range(start, stop)

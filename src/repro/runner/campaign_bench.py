@@ -75,6 +75,19 @@ DEFAULT_N_SIZES = 320
 #: over 450 unique topology geometries.
 DEFAULT_N_PATTERN_SIZES = 50
 
+#: Size-axis length of the *sharded* benchmark grid (same spec family
+#: as the bench grid: 320 points per size).  Shards are subprocesses,
+#: so each pays a python+numpy interpreter start (~0.2-0.4s); against
+#: the 102k-point default grid — ~40ms of single-process wall at the
+#: binary campaign's measured throughput — that overhead can never
+#: amortize.  The sharded section therefore measures the regime
+#: sharding exists for: a grid large enough (6.4M points) that kernel
+#: time dominates process overhead and per-core scaling is visible.
+DEFAULT_N_SHARDED_SIZES = 20000
+
+#: Shard processes of the sharded section (the CI runner has 4 cores).
+DEFAULT_N_SHARDS = 4
+
 #: Points of the per-point *pipeline* baseline (executor + one JSON
 #: file per point): a uniform stride over the grid, timed and scaled.
 PIPELINE_SAMPLE_POINTS = 4096
@@ -152,8 +165,9 @@ def _merge_payload(path: Path, payload: dict) -> dict:
         existing = json.loads(path.read_text())
     except ValueError:
         return payload
-    if "pattern_campaign" not in payload and "pattern_campaign" in existing:
-        payload["pattern_campaign"] = existing["pattern_campaign"]
+    for section in ("pattern_campaign", "sharded_campaign"):
+        if section not in payload and section in existing:
+            payload[section] = existing[section]
     return payload
 
 
@@ -407,11 +421,102 @@ def _benchmark_pattern(work: Path, n_sizes: int) -> dict:
     }
 
 
+def _benchmark_sharded(work: Path, n_sizes: int, n_shards: int) -> dict:
+    """The sharded-execution measurement (``sharded_campaign`` section).
+
+    Times the same large analytic grid twice — once through the
+    ordinary single-process binary campaign, once split across
+    ``n_shards`` shard subprocesses and merged — and verifies the
+    merged store is column-for-column equal to the single-process one
+    before recording ``speedup_vs_single``.
+    """
+    import numpy as np
+
+    from .scenario import execute, result_to_dict
+    from .shard import run_sharded
+
+    grid = parse_grid_spec(campaign_grid_spec(n_sizes))
+    warm = grid.scenario_at(0)
+    result_to_dict(warm, execute(warm))
+
+    with stopwatch() as single:
+        store = CampaignStore.create(
+            work / "sharded-single", grid, compression="binary"
+        )
+        summary = run_campaign(store)
+    if summary["executed"] != len(grid):
+        raise RuntimeError(
+            f"campaign root {work / 'sharded-single'} was not empty — "
+            f"benchmark against an empty --root"
+        )
+    single_pps = len(grid) / single.wall
+
+    with stopwatch() as sharded:
+        target = CampaignStore.create(
+            work / "sharded-store", grid, compression="binary"
+        )
+        sharded_summary = run_sharded(target, n_shards=n_shards)
+    if target.n_completed != len(grid):
+        raise RuntimeError(
+            f"sharded campaign covered {target.n_completed} of "
+            f"{len(grid)} points"
+        )
+    sharded_pps = len(grid) / sharded.wall
+
+    # The speedup only counts if the merged store holds the same data.
+    ref_idx, ref_cols = store.read_columns()
+    got_idx, got_cols = target.read_columns()
+    if not np.array_equal(ref_idx, got_idx) or any(
+        not np.array_equal(ref_cols[name], got_cols[name])
+        for name in ref_cols
+    ):
+        raise RuntimeError(
+            "merged sharded store differs from the single-process "
+            "store — refusing to record the speedup"
+        )
+
+    return {
+        "backend": "analytic",
+        "grid": campaign_grid_spec(n_sizes),
+        "n_points": len(grid),
+        "n_shards": n_shards,
+        "python": platform.python_version(),
+        "env": environment_provenance(),
+        "single": {
+            "description": "one process, binary segments + async "
+                           "writer (the binary_campaign defaults)",
+            "wall_s": round(single.wall, 4),
+            "points_per_s": round(single_pps, 1),
+        },
+        "sharded": {
+            "description": f"{n_shards} shard subprocesses "
+                           f"(campaign run --shards), merged and "
+                           f"verified column-equal to the single run",
+            "wall_s": round(sharded.wall, 4),
+            "points_per_s": round(sharded_pps, 1),
+            "shards_run": len(sharded_summary["shards"]),
+            "segments_adopted": (
+                sharded_summary["merge"]["segments_adopted"]
+                if sharded_summary["merge"]
+                else 0
+            ),
+            "merge_wall_s": (
+                round(sharded_summary["merge"]["wall_s"], 4)
+                if sharded_summary["merge"]
+                else 0.0
+            ),
+        },
+        "speedup_vs_single": round(sharded_pps / single_pps, 2),
+        "verified_equivalent": True,
+    }
+
+
 def benchmark_campaign(
     path: str | Path = DEFAULT_JSON_PATH,
     n_sizes: Optional[int] = None,
     root: Optional[str | Path] = None,
     kind: str = "bench",
+    n_shards: int = DEFAULT_N_SHARDS,
 ) -> dict:
     """Run the fixed grid of ``kind`` batched and per-point; persist.
 
@@ -419,7 +524,7 @@ def benchmark_campaign(
     lives in a temp dir and is removed after the measurement.  Returns
     the written payload (both families' sections, merged).
     """
-    if kind not in ("bench", "pattern"):
+    if kind not in ("bench", "pattern", "sharded"):
         raise ValueError(f"unknown campaign-bench kind {kind!r}")
     keep = root is not None
     work = Path(root) if keep else Path(tempfile.mkdtemp()) / "campaign"
@@ -431,8 +536,8 @@ def benchmark_campaign(
                 work, n_sizes if n_sizes else DEFAULT_N_SIZES
             )
         else:
-            # The pattern section rides on the existing payload (or a
-            # stub carrying provenance when none exists yet).
+            # Pattern/sharded sections ride on the existing payload (or
+            # a stub carrying provenance when none exists yet).
             if target.is_file():
                 try:
                     payload = json.loads(target.read_text())
@@ -440,9 +545,16 @@ def benchmark_campaign(
                     payload = {"schema": _SCHEMA}
             else:
                 payload = {"schema": _SCHEMA}
-            payload["pattern_campaign"] = _benchmark_pattern(
-                work, n_sizes if n_sizes else DEFAULT_N_PATTERN_SIZES
-            )
+            if kind == "pattern":
+                payload["pattern_campaign"] = _benchmark_pattern(
+                    work, n_sizes if n_sizes else DEFAULT_N_PATTERN_SIZES
+                )
+            else:
+                payload["sharded_campaign"] = _benchmark_sharded(
+                    work,
+                    n_sizes if n_sizes else DEFAULT_N_SHARDED_SIZES,
+                    n_shards,
+                )
     finally:
         if not keep:
             shutil.rmtree(work.parent, ignore_errors=True)

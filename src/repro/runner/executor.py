@@ -61,10 +61,15 @@ __all__ = [
 
 
 def default_jobs() -> int:
-    """The default worker count: one per available CPU."""
-    import os
+    """The default worker count: one per CPU this process may use.
 
-    return os.cpu_count() or 1
+    Respects cgroup / ``taskset`` affinity masks via
+    :func:`~repro.runner.planner.available_cpus`, so containers and CI
+    runners with restricted CPU sets do not over-fork.
+    """
+    from .planner import available_cpus
+
+    return available_cpus()
 
 
 def _execute_payload(payload: dict) -> dict:

@@ -30,11 +30,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 __all__ = [
     "Chunk",
     "ExecutionPlan",
+    "available_cpus",
     "plan_execution",
     "auto_chunk_size",
     "auto_submit_window",
     "auto_writer_depth",
     "pool_workers",
+    "shard_plan",
 ]
 
 #: Valid pool policies: "auto" (serial fallback for tiny grids / single
@@ -88,6 +90,21 @@ def auto_writer_depth(chunk_points: int) -> int:
     return WRITER_QUEUE_DEPTH
 
 
+def available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the machine; cgroup limits and
+    ``taskset`` masks (CI runners, containers) restrict the process to
+    fewer.  ``sched_getaffinity`` sees the real budget where the
+    platform exposes it — sizing pools or shard counts past it just
+    multiplies context switches.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
 def pool_workers(
     n_points: int,
     jobs: int,
@@ -106,7 +123,7 @@ def pool_workers(
         raise ValueError(
             f"unknown pool policy {pool!r}; choose from {POOL_POLICIES}"
         )
-    cpus = (os.cpu_count() or 1) if cpu_count is None else cpu_count
+    cpus = available_cpus() if cpu_count is None else cpu_count
     # More workers than cores cannot help a CPU-bound simulation; more
     # workers than points just forks idle processes.
     workers = max(1, min(jobs, cpus, n_points))
@@ -223,3 +240,67 @@ def plan_execution(
         telemetry.gauge("planner.chunk_size", plan.chunk_size)
         telemetry.gauge("planner.use_pool", int(plan.use_pool))
     return plan
+
+
+def shard_plan(
+    grid,
+    n_shards: int,
+    completed: Sequence[Tuple[int, int]] = (),
+) -> List[List[Tuple[int, int]]]:
+    """Split a grid's missing points into ``n_shards`` contiguous slabs.
+
+    ``grid`` is a :class:`~repro.runner.scenario.ScenarioGrid` (or a
+    bare point count); ``completed`` is a sorted list of half-open
+    ``[start, stop)`` index ranges already present in the target store
+    (``CampaignStore.completed_ranges()``).  The remaining points are
+    split as evenly as possible — shard sizes differ by at most one
+    point — and each shard gets ranges *contiguous in missing-index
+    space*, so a shard's work is a handful of dense slabs even when the
+    completed set is fragmented.  Trailing shards may come out empty
+    when there are fewer missing points than shards.
+
+    The result is pure data: every shard entry is a list of half-open
+    ``[start, stop)`` grid-index ranges, directly consumable by
+    ``run_campaign(..., ranges=shard)`` or serialisable onto a
+    ``campaign shard run --ranges`` command line for another machine.
+    """
+    n_points = grid if isinstance(grid, int) else len(grid)
+    if n_points < 0:
+        raise ValueError(f"negative point count {n_points}")
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    # Missing ranges = [0, n_points) minus the completed ranges.
+    missing: List[Tuple[int, int]] = []
+    cursor = 0
+    for start, stop in completed:
+        if not (0 <= start < stop <= n_points):
+            raise ValueError(
+                f"completed range [{start}, {stop}) outside grid "
+                f"[0, {n_points})"
+            )
+        if start < cursor:
+            raise ValueError(
+                "completed ranges must be sorted and non-overlapping"
+            )
+        if cursor < start:
+            missing.append((cursor, start))
+        cursor = stop
+    if cursor < n_points:
+        missing.append((cursor, n_points))
+
+    total = sum(stop - start for start, stop in missing)
+    base, extra = divmod(total, n_shards)
+    shards: List[List[Tuple[int, int]]] = []
+    it = iter(missing)
+    current: Optional[Tuple[int, int]] = next(it, None)
+    for i in range(n_shards):
+        want = base + (1 if i < extra else 0)
+        shard: List[Tuple[int, int]] = []
+        while want > 0 and current is not None:
+            start, stop = current
+            take = min(want, stop - start)
+            shard.append((start, start + take))
+            want -= take
+            current = (start + take, stop) if start + take < stop else next(it, None)
+        shards.append(shard)
+    return shards

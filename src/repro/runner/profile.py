@@ -50,6 +50,7 @@ STAGE_SPANS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("stall", ("executor.stall",)),
     ("writer-stall", ("store.writer.stall",)),
     ("read", ("store.read.plan", "store.read.segment")),
+    ("shard", ("campaign.shard.run", "campaign.shard.merge")),
 )
 
 #: What to do about a dominant stage (the actionable one-liner).
@@ -72,6 +73,8 @@ _STAGE_HINTS: Dict[str, str] = {
                     "the disk (or gzip) cannot keep up with the kernel",
     "read": "columnar read (range planning + segment loads) dominates; "
             "mixed-in text segments decode whole — compact --binary",
+    "shard": "shard subprocess wall (kernel runs there) plus merge; "
+             "per-shard attribution lives in each shard's metrics file",
     "other": "uninstrumented time dominates; the span coverage needs "
              "a closer look before trusting this profile",
 }
